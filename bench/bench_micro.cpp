@@ -1,0 +1,189 @@
+// Google-benchmark microbenchmarks for the pipeline's moving parts: VM
+// tracing throughput, trace serialization/parsing (serial vs OpenMP),
+// dependency-analysis replay, Algorithm-1 contraction, classification, and
+// checkpoint I/O. These back the paper's observation that analysis time is
+// linear in trace size with parsing dominant.
+#include <benchmark/benchmark.h>
+
+#include "analysis/autocheck.hpp"
+#include "apps/harness.hpp"
+#include "ckpt/ftilite.hpp"
+#include "minic/compiler.hpp"
+#include "trace/reader.hpp"
+#include "trace/writer.hpp"
+#include "vm/interp.hpp"
+
+using namespace ac;
+
+namespace {
+
+struct Fixture {
+  ir::Module module;
+  analysis::MclRegion region;
+  std::vector<trace::TraceRecord> records;
+  std::string text;
+
+  explicit Fixture(const char* app_name, const apps::Params& params = {}) {
+    const apps::App& app = apps::find_app(app_name);
+    module = minic::compile(app.source(params));
+    region = app.mcl();
+    trace::MemorySink sink;
+    vm::RunOptions opts;
+    opts.sink = &sink;
+    vm::run_module(module, opts);
+    records = std::move(sink.records());
+    for (const auto& r : records) text += r.to_text();
+  }
+};
+
+const Fixture& cg() {
+  static Fixture f("CG");
+  return f;
+}
+
+void BM_VmExecuteTraced(benchmark::State& state) {
+  const Fixture& f = cg();
+  for (auto _ : state) {
+    trace::NullSink sink;
+    vm::RunOptions opts;
+    opts.sink = &sink;
+    auto rr = vm::run_module(f.module, opts);
+    benchmark::DoNotOptimize(rr.steps);
+    state.SetItemsProcessed(state.items_processed() + static_cast<std::int64_t>(rr.steps));
+  }
+}
+BENCHMARK(BM_VmExecuteTraced)->Unit(benchmark::kMillisecond);
+
+void BM_TraceSerialize(benchmark::State& state) {
+  const Fixture& f = cg();
+  for (auto _ : state) {
+    std::string out;
+    out.reserve(f.text.size());
+    for (const auto& r : f.records) out += r.to_text();
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.text.size()));
+}
+BENCHMARK(BM_TraceSerialize)->Unit(benchmark::kMillisecond);
+
+void BM_TraceParseSerial(benchmark::State& state) {
+  const Fixture& f = cg();
+  for (auto _ : state) {
+    auto recs = trace::read_trace_text(f.text);
+    benchmark::DoNotOptimize(recs.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.text.size()));
+}
+BENCHMARK(BM_TraceParseSerial)->Unit(benchmark::kMillisecond);
+
+void BM_TraceParseParallel(benchmark::State& state) {
+  const Fixture& f = cg();
+  for (auto _ : state) {
+    auto recs = trace::read_trace_text_parallel(f.text, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(recs.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.text.size()));
+}
+BENCHMARK(BM_TraceParseParallel)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_Preprocess(benchmark::State& state) {
+  const Fixture& f = cg();
+  for (auto _ : state) {
+    auto pre = analysis::preprocess(f.records, f.region);
+    benchmark::DoNotOptimize(pre.mli.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.records.size()));
+}
+BENCHMARK(BM_Preprocess)->Unit(benchmark::kMillisecond);
+
+void BM_DepAnalysis(benchmark::State& state) {
+  const Fixture& f = cg();
+  const bool with_ddg = state.range(0) != 0;
+  for (auto _ : state) {
+    auto pre = analysis::preprocess(f.records, f.region);
+    analysis::DepOptions opts;
+    opts.build_ddg = with_ddg;
+    auto dep = analysis::dep_analysis(f.records, pre, f.region, opts);
+    benchmark::DoNotOptimize(dep.events.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.records.size()));
+}
+BENCHMARK(BM_DepAnalysis)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ContractDdg(benchmark::State& state) {
+  const Fixture& f = cg();
+  auto pre = analysis::preprocess(f.records, f.region);
+  auto dep = analysis::dep_analysis(f.records, pre, f.region);
+  for (auto _ : state) {
+    auto contracted = dep.complete.contract();
+    benchmark::DoNotOptimize(contracted.num_nodes());
+  }
+}
+BENCHMARK(BM_ContractDdg);
+
+void BM_Classify(benchmark::State& state) {
+  const Fixture& f = cg();
+  auto pre = analysis::preprocess(f.records, f.region);
+  analysis::DepOptions opts;
+  opts.build_ddg = false;
+  auto dep = analysis::dep_analysis(f.records, pre, f.region, opts);
+  for (auto _ : state) {
+    auto verdicts = analysis::classify(dep, pre);
+    benchmark::DoNotOptimize(verdicts.critical.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dep.events.size()));
+}
+BENCHMARK(BM_Classify);
+
+void BM_EndToEndAnalysis(benchmark::State& state) {
+  // Scale the CG problem to show linearity in trace size.
+  static Fixture small("CG", {{"N", "12"}, {"NITER", "3"}, {"CGITMAX", "3"}});
+  static Fixture medium("CG", {{"N", "24"}, {"NITER", "4"}, {"CGITMAX", "5"}});
+  static Fixture large("CG", {{"N", "40"}, {"NITER", "6"}, {"CGITMAX", "8"}});
+  const Fixture* f = state.range(0) == 0 ? &small : (state.range(0) == 1 ? &medium : &large);
+  analysis::AutoCheckOptions opts;
+  opts.build_ddg = false;
+  for (auto _ : state) {
+    auto report = analysis::analyze_records(f->records, f->region, opts);
+    benchmark::DoNotOptimize(report.verdicts.critical.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f->records.size()));
+}
+BENCHMARK(BM_EndToEndAnalysis)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointSaveRecover(benchmark::State& state) {
+  ckpt::CheckpointImage img;
+  std::vector<ckpt::Cell> cells(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < cells.size(); ++i) cells[i] = {i, 0};
+  img.add("u", cells);
+  ckpt::FtiLite fti("/tmp", "ac_bench_micro");
+  for (auto _ : state) {
+    fti.checkpoint(img);
+    auto back = fti.recover();
+    benchmark::DoNotOptimize(back.vars().size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(img.byte_size()));
+  fti.reset();
+}
+BENCHMARK(BM_CheckpointSaveRecover)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_MiniCCompile(benchmark::State& state) {
+  const std::string src = apps::find_app("LU").source();
+  for (auto _ : state) {
+    auto mod = minic::compile(src);
+    benchmark::DoNotOptimize(mod.functions.size());
+  }
+}
+BENCHMARK(BM_MiniCCompile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Table IV reproduction: checkpoint storage cost — the BLCR-style full
+// machine image versus AutoCheck's selective variable checkpoint (FtiLite
+// file on disk), at each benchmark's larger Table IV input.
+#include <cstdio>
+
+#include "apps/harness.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+using namespace ac;
+
+int main() {
+  std::printf("=== Table IV: storage cost for checkpointing ===\n\n");
+  TextTable table({"Name", "BLCR-style full image", "AutoCheck checkpoint", "Ratio"});
+
+  double min_ratio = 1e300;
+  for (const auto& app : apps::registry()) {
+    const apps::AnalysisRun run = apps::analyze_app(app, app.table4_params);
+    const apps::StorageResult st =
+        apps::measure_storage(app, app.table4_params, run.report.critical_names(), "/tmp");
+    const double ratio =
+        st.autocheck_bytes ? static_cast<double>(st.blcr_bytes) / st.autocheck_bytes : 0.0;
+    min_ratio = std::min(min_ratio, ratio);
+    table.add_row({app.name, human_bytes(st.blcr_bytes), human_bytes(st.autocheck_bytes),
+                   strf("%.1fx", ratio)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Shape check vs the paper: the selective checkpoint is smaller than the\n"
+              "system-level image on every benchmark (paper: up to 7 orders of magnitude\n"
+              "on production-size inputs; our inputs are laptop-scale). Min ratio: %.1fx\n",
+              min_ratio);
+  return 0;
+}

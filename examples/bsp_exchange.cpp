@@ -1,0 +1,81 @@
+// §VII "MPI programs": the paper argues AutoCheck covers message passing
+// because "communication is an operation copying one buffer on a node to
+// another buffer on a different node" — the dependency analysis sees the
+// buffer copies like any other dataflow.
+//
+// This example models a 2-rank BSP halo exchange inside one address space:
+// each superstep computes on per-rank state, then exchanges boundary cells
+// through send/recv buffers. AutoCheck must find the per-rank fields (WAR)
+// while the communication buffers, rewritten every superstep before use,
+// need no checkpoint — exactly the paper's synchronous-checkpointing
+// argument.
+//
+// Build & run:  ./examples/bsp_exchange
+#include <cstdio>
+
+#include "analysis/autocheck.hpp"
+#include "minic/compiler.hpp"
+#include "trace/writer.hpp"
+#include "vm/interp.hpp"
+
+int main() {
+  const std::string source = R"(
+double field0[16];
+double field1[16];
+double sendbuf0;
+double sendbuf1;
+
+void exchange() {
+  sendbuf0 = field0[15];
+  sendbuf1 = field1[0];
+  field1[15] = sendbuf0;
+  field0[0] = sendbuf1;
+}
+
+void compute(double f[]) {
+  for (int i = 1; i < 15; i = i + 1) {
+    f[i] = f[i] * 0.5 + f[i - 1] * 0.25 + f[i + 1] * 0.25;
+  }
+}
+
+int main() {
+  for (int i = 0; i < 16; i = i + 1) {
+    field0[i] = i * 0.125;
+    field1[i] = (15 - i) * 0.125;
+  }
+  sendbuf0 = 0.0;
+  sendbuf1 = 0.0;
+  //@mcl-begin
+  for (int superstep = 1; superstep <= 8; superstep = superstep + 1) {
+    compute(field0);
+    compute(field1);
+    exchange();
+  }
+  //@mcl-end
+  double cs = 0.0;
+  for (int i = 0; i < 16; i = i + 1) {
+    cs = cs + field0[i] * (i + 1) + field1[i] * (i + 2);
+  }
+  print_float(cs);
+  return 0;
+}
+)";
+
+  const ac::ir::Module module = ac::minic::compile(source);
+  ac::trace::MemorySink trace;
+  ac::vm::RunOptions opts;
+  opts.sink = &trace;
+  ac::vm::run_module(module, opts);
+
+  const ac::analysis::Report report =
+      ac::analysis::analyze_records(trace.records(), ac::analysis::find_mcl_region(source));
+
+  std::printf("=== BSP halo exchange (paper 7, 'MPI programs') ===\n\n%s\n",
+              report.render().c_str());
+  std::printf("Expected: the per-rank fields field0/field1 are WAR (their state\n"
+              "crosses supersteps, including through the exchanged halos); the\n"
+              "communication buffers sendbuf0/sendbuf1 are rewritten before every\n"
+              "use, so synchronous checkpointing at the superstep boundary does not\n"
+              "need them — matching the paper's inter-process dependency argument.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "analysis/autocheck.hpp"
+
+#include "support/strings.hpp"
+#include "support/timer.hpp"
+#include "trace/reader.hpp"
+
+namespace ac::analysis {
+
+std::vector<std::string> Report::critical_names() const {
+  std::vector<std::string> out;
+  for (const auto& cv : verdicts.critical) out.push_back(cv.name);
+  return out;
+}
+
+const CriticalVar* Report::find_critical(const std::string& name) const {
+  for (const auto& cv : verdicts.critical) {
+    if (cv.name == name) return &cv;
+  }
+  return nullptr;
+}
+
+std::string Report::render() const {
+  std::string out;
+  out += strf("MCL region: %s lines %d-%d, %d iterations observed\n", region.function.c_str(),
+              region.begin_line, region.end_line, dep.iterations);
+  out += "MLI variables:";
+  for (const auto& m : pre.mli) out += " " + m.name;
+  out += "\nCritical variables:\n";
+  for (const auto& cv : verdicts.critical) {
+    out += strf("  %-24s %-8s (decl line %d, %llu bytes)\n", cv.name.c_str(),
+                dep_type_name(cv.type), cv.decl_line,
+                static_cast<unsigned long long>(cv.bytes));
+    if (!cv.reason.empty()) out += strf("    why: %s\n", cv.reason.c_str());
+  }
+  out += strf("Timings: pre-processing %.4fs, dependency analysis %.4fs, identify %.4fs\n",
+              timings.preprocessing, timings.dep_analysis, timings.identify);
+  return out;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Report::to_json() const {
+  std::string out = "{\n";
+  out += strf("  \"region\": {\"function\": \"%s\", \"begin_line\": %d, \"end_line\": %d},\n",
+              json_escape(region.function).c_str(), region.begin_line, region.end_line);
+
+  out += "  \"mli\": [";
+  for (std::size_t i = 0; i < pre.mli.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + json_escape(pre.mli[i].name) + "\"";
+  }
+  out += "],\n";
+
+  out += "  \"critical\": [\n";
+  for (std::size_t i = 0; i < verdicts.critical.size(); ++i) {
+    const CriticalVar& cv = verdicts.critical[i];
+    out += strf("    {\"name\": \"%s\", \"type\": \"%s\", \"decl_line\": %d, "
+                "\"bytes\": %llu, \"reason\": \"%s\"}%s\n",
+                json_escape(cv.name).c_str(), dep_type_name(cv.type), cv.decl_line,
+                static_cast<unsigned long long>(cv.bytes), json_escape(cv.reason).c_str(),
+                i + 1 < verdicts.critical.size() ? "," : "");
+  }
+  out += "  ],\n";
+
+  out += strf("  \"stats\": {\"records\": %llu, \"iterations\": %d, \"stores\": %llu, "
+              "\"pointer_assignments\": %llu, \"events\": %zu},\n",
+              static_cast<unsigned long long>(pre.records_scanned), dep.iterations,
+              static_cast<unsigned long long>(dep.stores_seen),
+              static_cast<unsigned long long>(dep.pointer_assignments), dep.events.size());
+
+  out += strf("  \"timings\": {\"preprocessing\": %.6f, \"dep_analysis\": %.6f, "
+              "\"identify\": %.6f, \"total\": %.6f}\n",
+              timings.preprocessing, timings.dep_analysis, timings.identify, timings.total());
+  out += "}\n";
+  return out;
+}
+
+std::string Report::render_events(std::size_t max_events) const {
+  std::string out;
+  std::size_t n = 0;
+  for (const auto& ev : dep.events) {
+    if (n >= max_events) {
+      out += "...";
+      break;
+    }
+    const VarDef& def = pre.vars.def(ev.var);
+    out += strf("%zu: %s-%s; ", n + 1, def.name.c_str(), ev.is_write ? "Write" : "Read");
+    ++n;
+  }
+  return out;
+}
+
+namespace {
+
+Report analyze_parsed(std::vector<trace::TraceRecord> const& records, const MclRegion& region,
+                      const AutoCheckOptions& opts, double parse_seconds) {
+  Report report;
+  report.region = region;
+
+  WallTimer timer;
+  report.pre = preprocess(records, region, opts.mli_mode);
+  report.timings.preprocessing = parse_seconds + timer.seconds();
+
+  timer.reset();
+  DepOptions dep_opts;
+  dep_opts.build_ddg = opts.build_ddg;
+  report.dep = dep_analysis(records, report.pre, region, dep_opts);
+  report.timings.dep_analysis = timer.seconds();
+
+  timer.reset();
+  report.verdicts = classify(report.dep, report.pre);
+  if (opts.build_ddg) report.contracted = report.dep.complete.contract();
+  report.timings.identify = timer.seconds();
+  return report;
+}
+
+}  // namespace
+
+Report analyze_records(const std::vector<trace::TraceRecord>& records, const MclRegion& region,
+                       const AutoCheckOptions& opts) {
+  return analyze_parsed(records, region, opts, 0.0);
+}
+
+Report analyze_file(const std::string& path, const MclRegion& region,
+                    const AutoCheckOptions& opts) {
+  WallTimer timer;
+  const std::vector<trace::TraceRecord> records =
+      opts.parallel_read ? trace::read_trace_file_parallel(path, opts.read_threads)
+                         : trace::read_trace_file(path);
+  const double parse_seconds = timer.seconds();
+  return analyze_parsed(records, region, opts, parse_seconds);
+}
+
+}  // namespace ac::analysis

@@ -1,0 +1,337 @@
+#include "analysis/depanalysis.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace ac::analysis {
+
+using trace::Opcode;
+using trace::Operand;
+using trace::OperandSlot;
+using trace::TraceRecord;
+
+namespace {
+
+/// Immediate variable provenance of a register: the set of (var, element)
+/// sources whose values flow into it (the reg-var map of §IV-B, with the
+/// reg-reg map folded in by unioning across arithmetic instructions).
+struct Prov {
+  std::vector<std::pair<int, std::int64_t>> sources;
+
+  void add(int var, std::int64_t elem) {
+    for (const auto& s : sources) {
+      if (s.first == var && s.second == elem) return;
+    }
+    // Reductions keep provenance small by SSA re-loading; the cap only guards
+    // pathological chains.
+    if (sources.size() < 64) sources.emplace_back(var, elem);
+  }
+  void merge(const Prov& other) {
+    for (const auto& s : other.sources) add(s.first, s.second);
+  }
+};
+
+struct AnalysisFrame {
+  std::string func;
+  std::unordered_map<std::string, Prov> reg_prov;
+  std::string pending_dst;  // caller register awaiting this frame's Ret value
+};
+
+}  // namespace
+
+struct DepAnalyzer::Impl {
+  PreprocessResult& pre;
+  MclRegion region;
+  DepOptions opts;
+
+  DepResult result;
+  AddressMap amap;
+  std::vector<AnalysisFrame> frames;
+  std::ptrdiff_t idx = -1;
+  Part part = Part::A;
+  int iteration = 0;
+
+  // One-record lookahead: a Call record is form 2 iff the next record
+  // executes inside the callee ("a Call instruction followed by its function
+  // body").
+  std::optional<TraceRecord> pending_call;
+
+  Impl(PreprocessResult& p, const MclRegion& r, const DepOptions& o)
+      : pre(p), region(r), opts(o) {
+    result.induction.written_in_b.assign(pre.vars.size(), 0);
+    frames.push_back(AnalysisFrame{"main", {}, ""});
+  }
+
+  AnalysisFrame& frame() {
+    AC_CHECK(!frames.empty(), "analysis frame stack underflow");
+    return frames.back();
+  }
+
+  bool is_mli(int var) const {
+    return var >= 0 && static_cast<std::size_t>(var) < pre.is_mli.size() &&
+           pre.is_mli[static_cast<std::size_t>(var)];
+  }
+
+  bool at_header(const TraceRecord& r) const {
+    return part == Part::B && r.func == region.function && r.line == region.begin_line;
+  }
+
+  void mark_written_in_b(int var) {
+    auto& w = result.induction.written_in_b;
+    if (static_cast<std::size_t>(var) >= w.size()) w.resize(static_cast<std::size_t>(var) + 1, 0);
+    w[static_cast<std::size_t>(var)] = 1;
+  }
+
+  void push_event(int var, std::int64_t elem, bool is_write, int line) {
+    if (!is_mli(var)) return;
+    AccessEvent ev;
+    ev.var = var;
+    ev.elem = elem;
+    ev.t = static_cast<std::uint64_t>(idx);
+    ev.line = line;
+    ev.iteration = iteration;
+    ev.part = part;
+    ev.is_write = is_write;
+    result.events.push_back(ev);
+  }
+
+  // --- DDG helpers ----------------------------------------------------------
+
+  int ddg_var_node(int var) {
+    const VarDef& def = pre.vars.def(var);
+    const std::string label = (def.is_global() || def.func == region.function)
+                                  ? def.name
+                                  : def.func + "." + def.name;
+    return result.complete.node(label, is_mli(var) ? NodeKind::MliVar : NodeKind::OtherVar);
+  }
+
+  int ddg_reg_node(const std::string& func, const std::string& reg) {
+    return result.complete.node(func + "%" + reg, NodeKind::Register);
+  }
+
+  // --- record handlers --------------------------------------------------------
+
+  void on_alloca(const TraceRecord& r) {
+    const Operand* result_op = r.find(OperandSlot::Result);
+    const Operand* size = r.input(1);
+    if (!result_op || !size || !result_op->value.is_addr()) {
+      throw AnalysisError("malformed Alloca record");
+    }
+    const auto bytes = static_cast<std::uint64_t>(size->value.as_i64());
+    const int id = pre.vars.canonical(r.func, result_op->name, r.line, bytes);
+    amap.bind(result_op->value.addr, bytes, id);
+    if (static_cast<std::size_t>(id) >= pre.is_mli.size()) {
+      pre.is_mli.resize(static_cast<std::size_t>(id) + 1, 0);
+    }
+  }
+
+  void on_load(const TraceRecord& r) {
+    const Operand* ptr = r.input(1);
+    const Operand* result_op = r.find(OperandSlot::Result);
+    if (!ptr || !result_op || !ptr->value.is_addr()) throw AnalysisError("malformed Load record");
+    const auto hit = amap.resolve(ptr->value.addr);
+    Prov prov;
+    if (hit) {
+      prov.add(hit->var, hit->elem);
+      if (opts.build_ddg) {
+        result.complete.add_edge(ddg_var_node(hit->var), ddg_reg_node(r.func, result_op->name));
+      }
+      if (at_header(r)) result.induction.cond_read.insert(hit->var);
+    }
+    frame().reg_prov[result_op->name] = std::move(prov);
+  }
+
+  Prov prov_of_operand(const Operand& op) {
+    if (!op.is_reg || op.name.empty()) return {};
+    auto it = frame().reg_prov.find(op.name);
+    return it == frame().reg_prov.end() ? Prov{} : it->second;
+  }
+
+  void on_arith(const TraceRecord& r) {
+    const Operand* result_op = r.find(OperandSlot::Result);
+    if (!result_op) return;
+    Prov merged;
+    for (const auto& op : r.operands) {
+      if (op.slot != OperandSlot::Input) continue;
+      merged.merge(prov_of_operand(op));
+      if (opts.build_ddg && op.is_reg && !op.name.empty()) {
+        result.complete.add_edge(ddg_reg_node(r.func, op.name),
+                                 ddg_reg_node(r.func, result_op->name));
+      }
+    }
+    frame().reg_prov[result_op->name] = std::move(merged);
+  }
+
+  void on_store(const TraceRecord& r) {
+    const Operand* value = r.input(1);
+    const Operand* ptr = r.input(2);
+    if (!value || !ptr || !ptr->value.is_addr()) throw AnalysisError("malformed Store record");
+    ++result.stores_seen;
+    const auto hit = amap.resolve(ptr->value.addr);
+    if (!hit) return;
+
+    // Pointer assignment (paper §IV-A): storing an address transfers an
+    // alias, it is neither a Read nor a Write of application data.
+    if (value->value.is_addr() && amap.resolve(value->value.addr)) {
+      ++result.pointer_assignments;
+      return;
+    }
+
+    const Prov sources = prov_of_operand(*value);
+    for (const auto& [svar, selem] : sources.sources) {
+      push_event(svar, selem, /*is_write=*/false, r.line);
+    }
+    push_event(hit->var, hit->elem, /*is_write=*/true, r.line);
+
+    if (opts.build_ddg && value->is_reg && !value->name.empty()) {
+      result.complete.add_edge(ddg_reg_node(r.func, value->name), ddg_var_node(hit->var));
+    }
+
+    if (part == Part::B) {
+      mark_written_in_b(hit->var);
+      if (at_header(r)) {
+        for (const auto& [svar, selem] : sources.sources) {
+          (void)selem;
+          if (svar == hit->var) result.induction.self_rmw.insert(hit->var);
+        }
+      }
+    }
+  }
+
+  void on_call(const TraceRecord& r, bool with_body) {
+    const Operand* callee = r.find(OperandSlot::Callee);
+    if (!callee) throw AnalysisError("Call record without callee");
+    const Operand* result_op = r.find(OperandSlot::Result);
+
+    if (!with_body) {
+      // Form 1: treated like an arithmetic instruction — argument registers
+      // feed the result; argument reads of MLI variables are data reads
+      // (this is how Outcome consumption by e.g. print_float is observed).
+      Prov merged;
+      for (const auto& op : r.operands) {
+        if (op.slot != OperandSlot::Input) continue;
+        const Prov p = prov_of_operand(op);
+        for (const auto& [svar, selem] : p.sources) {
+          push_event(svar, selem, /*is_write=*/false, r.line);
+        }
+        merged.merge(p);
+        if (opts.build_ddg && result_op && op.is_reg && !op.name.empty()) {
+          result.complete.add_edge(ddg_reg_node(r.func, op.name),
+                                   ddg_reg_node(r.func, result_op->name));
+        }
+      }
+      if (result_op) frame().reg_prov[result_op->name] = std::move(merged);
+      return;
+    }
+
+    // Form 2: bind each argument's provenance to the callee's incoming
+    // registers arg1..argN (the callee's parameter-binding stores complete
+    // the argument -> parameter triplet, cf. Fig. 6(b)).
+    AnalysisFrame next;
+    next.func = callee->name;
+    next.pending_dst = result_op ? result_op->name : "";
+    int arg_index = 0;
+    for (const auto& op : r.operands) {
+      if (op.slot != OperandSlot::Input) continue;
+      ++arg_index;
+      next.reg_prov[strf("arg%d", arg_index)] = prov_of_operand(op);
+    }
+    frames.push_back(std::move(next));
+  }
+
+  void on_ret(const TraceRecord& r) {
+    Prov ret_prov;
+    const Operand* value = r.input(1);
+    if (value) ret_prov = prov_of_operand(*value);
+    const std::string pending = frame().pending_dst;
+    if (frames.size() > 1) {
+      frames.pop_back();
+      if (!pending.empty()) {
+        if (opts.build_ddg && value && value->is_reg && !value->name.empty()) {
+          // Bind the callee's return register to the caller's result register
+          // so dependency chains survive function boundaries in the DDG.
+          result.complete.add_edge(ddg_reg_node(r.func, value->name),
+                                   ddg_reg_node(frame().func, pending));
+        }
+        frame().reg_prov[pending] = std::move(ret_prov);
+      }
+    }
+  }
+
+  void on_br(const TraceRecord& r) {
+    // A conditional branch at the MCL header line delimits iterations.
+    if (at_header(r) && r.input(1) != nullptr) ++iteration;
+  }
+
+  void dispatch(const TraceRecord& r) {
+    ++idx;
+    part = pre.partition.part_of(idx);
+    switch (r.opcode) {
+      case Opcode::Alloca: on_alloca(r); break;
+      case Opcode::Load: on_load(r); break;
+      case Opcode::Store: on_store(r); break;
+      case Opcode::Call: break;  // handled by the lookahead buffer in add()
+      case Opcode::Ret: on_ret(r); break;
+      case Opcode::Br: on_br(r); break;
+      case Opcode::GetElementPtr:
+      case Opcode::BitCast:
+        break;  // pointer computations: resolution is by runtime address
+      default:
+        if (trace::is_arithmetic(r.opcode)) on_arith(r);
+        break;
+    }
+  }
+
+  void add(const TraceRecord& r) {
+    if (pending_call) {
+      const Operand* callee = pending_call->find(OperandSlot::Callee);
+      const bool with_body = callee && r.func == callee->name;
+      TraceRecord call = std::move(*pending_call);
+      pending_call.reset();
+      dispatch_call(call, with_body);
+    }
+    if (r.opcode == Opcode::Call) {
+      pending_call = r;
+      return;
+    }
+    dispatch(r);
+  }
+
+  void dispatch_call(const TraceRecord& call, bool with_body) {
+    ++idx;
+    part = pre.partition.part_of(idx);
+    on_call(call, with_body);
+  }
+
+  DepResult finish() {
+    if (pending_call) {
+      TraceRecord call = std::move(*pending_call);
+      pending_call.reset();
+      dispatch_call(call, /*with_body=*/false);
+    }
+    result.iterations = iteration;
+    return std::move(result);
+  }
+};
+
+DepAnalyzer::DepAnalyzer(PreprocessResult& pre, const MclRegion& region, const DepOptions& opts)
+    : impl_(new Impl(pre, region, opts)) {}
+
+DepAnalyzer::~DepAnalyzer() = default;
+
+void DepAnalyzer::add(const trace::TraceRecord& rec) { impl_->add(rec); }
+
+DepResult DepAnalyzer::finish() { return impl_->finish(); }
+
+DepResult dep_analysis(const std::vector<TraceRecord>& records, PreprocessResult& pre,
+                       const MclRegion& region, const DepOptions& opts) {
+  DepAnalyzer analyzer(pre, region, opts);
+  for (const TraceRecord& rec : records) analyzer.add(rec);
+  return analyzer.finish();
+}
+
+}  // namespace ac::analysis

@@ -1,0 +1,202 @@
+#include "analysis/preprocess.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace ac::analysis {
+
+using trace::Opcode;
+using trace::OperandSlot;
+using trace::TraceRecord;
+
+Partition partition_trace(const std::vector<TraceRecord>& records, const MclRegion& region) {
+  Partition part;
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(records.size()); ++i) {
+    const TraceRecord& r = records[static_cast<std::size_t>(i)];
+    // Alloca records are hoisted to function entry by the compiler; their
+    // line is the declaration point, not an executed loop statement (cf. the
+    // paper's Fig. 6(c), where LLVM-Tracer reports line -1 for Alloca).
+    if (r.opcode == Opcode::Alloca) continue;
+    if (r.func == region.function && region.contains(r.line)) {
+      if (part.first_b < 0) part.first_b = i;
+      part.last_b = i;
+    }
+  }
+  if (!part.has_loop()) {
+    throw AnalysisError("main computation loop region never executes "
+                        "(wrong function name or line range?)");
+  }
+  return part;
+}
+
+namespace {
+
+/// The memory address a Load reads or a Store writes, or 0 for other records.
+std::uint64_t access_address(const TraceRecord& r) {
+  if (r.opcode == Opcode::Load) {
+    const trace::Operand* ptr = r.input(1);
+    return ptr && ptr->value.is_addr() ? ptr->value.addr : 0;
+  }
+  if (r.opcode == Opcode::Store) {
+    const trace::Operand* ptr = r.input(2);
+    return ptr && ptr->value.is_addr() ? ptr->value.addr : 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+struct MliCollector::Impl {
+  MclRegion region;
+  MliMode mode;
+
+  PreprocessResult out;
+  AddressMap amap;
+  std::ptrdiff_t idx = -1;       // current record index
+  std::ptrdiff_t first_b = -1;   // known as soon as the loop is entered
+  std::ptrdiff_t last_b = -1;    // grows until the stream ends
+
+  struct VarFlags {
+    std::ptrdiff_t alloca_idx = -1;
+    bool accessed_before_loop = false;
+    std::ptrdiff_t first_access_in_loop_or_later = -1;
+    std::uint64_t base = 0;  // last bound base address (stable for host/globals)
+  };
+  std::vector<VarFlags> flags;
+
+  // PaperNameMatch state: call-depth tracking needs one record of lookahead
+  // to recognize "a Call instruction followed by its function body".
+  std::optional<TraceRecord> pending_call;
+  int call_depth = 0;
+  int loop_entry_depth = -1;
+  std::map<std::pair<std::string, std::uint64_t>, std::ptrdiff_t> set_a;  // -> first idx
+  std::map<std::pair<std::string, std::uint64_t>, std::ptrdiff_t> set_b;
+
+  VarFlags& flags_of(int id) {
+    if (static_cast<std::size_t>(id) >= flags.size()) flags.resize(static_cast<std::size_t>(id) + 1);
+    return flags[static_cast<std::size_t>(id)];
+  }
+
+  void add(const TraceRecord& rec) {
+    if (pending_call) {
+      const trace::Operand* callee = pending_call->find(OperandSlot::Callee);
+      if (callee && rec.func == callee->name) ++call_depth;
+      pending_call.reset();
+    }
+    ++idx;
+    ++out.records_scanned;
+
+    const bool in_region = rec.opcode != Opcode::Alloca && rec.func == region.function &&
+                           region.contains(rec.line);
+    if (in_region) {
+      if (first_b < 0) {
+        first_b = idx;
+        loop_entry_depth = call_depth;
+      }
+      last_b = idx;
+    }
+
+    if (rec.opcode == Opcode::Call) pending_call = rec;
+    if (rec.opcode == Opcode::Ret) --call_depth;
+
+    if (rec.opcode == Opcode::Alloca) {
+      const trace::Operand* result = rec.find(OperandSlot::Result);
+      const trace::Operand* size = rec.input(1);
+      if (!result || !size || !result->value.is_addr()) {
+        throw AnalysisError("malformed Alloca record");
+      }
+      const auto bytes = static_cast<std::uint64_t>(size->value.as_i64());
+      const int id = out.vars.canonical(rec.func, result->name, rec.line, bytes);
+      amap.bind(result->value.addr, bytes, id);
+      VarFlags& f = flags_of(id);
+      if (f.alloca_idx < 0) f.alloca_idx = idx;
+      f.base = result->value.addr;
+      return;
+    }
+
+    const std::uint64_t addr = access_address(rec);
+    if (addr == 0) return;
+    const auto hit = amap.resolve(addr);
+    if (!hit) return;
+
+    VarFlags& f = flags_of(hit->var);
+    if (first_b < 0) {
+      f.accessed_before_loop = true;
+    } else if (f.first_access_in_loop_or_later < 0) {
+      f.first_access_in_loop_or_later = idx;
+    }
+
+    if (mode == MliMode::PaperNameMatch) {
+      const VarDef& def = out.vars.def(hit->var);
+      const std::uint64_t base = addr - static_cast<std::uint64_t>(hit->elem) * 8;
+      if (first_b < 0) {
+        set_a.emplace(std::make_pair(def.name, base), idx);
+      } else if (call_depth <= loop_entry_depth) {
+        // Bypass function-call intervals: only host-level accesses collected.
+        set_b.emplace(std::make_pair(def.name, base), idx);
+      }
+    }
+  }
+
+  PreprocessResult finish() {
+    if (first_b < 0) {
+      throw AnalysisError("main computation loop region never executes "
+                          "(wrong function name or line range?)");
+    }
+    out.partition.first_b = first_b;
+    out.partition.last_b = last_b;
+
+    out.is_mli.assign(out.vars.size(), 0);
+    for (std::size_t id = 0; id < out.vars.size(); ++id) {
+      if (id >= flags.size()) continue;
+      const VarDef& def = out.vars.def(static_cast<int>(id));
+      const VarFlags& f = flags[id];
+      const bool host_scope = def.is_global() || def.func == region.function;
+      const bool defined_before_loop = host_scope && f.alloca_idx >= 0 && f.alloca_idx < first_b;
+      const bool accessed_in_loop =
+          f.first_access_in_loop_or_later >= 0 && f.first_access_in_loop_or_later <= last_b;
+
+      bool mli = false;
+      if (mode == MliMode::AddressResolved) {
+        mli = defined_before_loop && f.accessed_before_loop && accessed_in_loop;
+      } else {
+        // Name+address matching between the collected sets, restricted to
+        // host-scope/global storage introduced before the loop; Part C
+        // collections are filtered out by the loop's end index.
+        const auto key = std::make_pair(def.name, f.base);
+        const auto a = set_a.find(key);
+        const auto b = set_b.find(key);
+        mli = defined_before_loop && a != set_a.end() && b != set_b.end() &&
+              b->second <= last_b;
+      }
+      if (mli) {
+        out.is_mli[id] = 1;
+        out.mli.push_back(MliVar{static_cast<int>(id), def.name, def.decl_line, def.bytes});
+      }
+    }
+    return std::move(out);
+  }
+};
+
+MliCollector::MliCollector(const MclRegion& region, MliMode mode) : impl_(new Impl) {
+  impl_->region = region;
+  impl_->mode = mode;
+}
+
+MliCollector::~MliCollector() = default;
+
+void MliCollector::add(const trace::TraceRecord& rec) { impl_->add(rec); }
+
+PreprocessResult MliCollector::finish() { return impl_->finish(); }
+
+PreprocessResult preprocess(const std::vector<TraceRecord>& records, const MclRegion& region,
+                            MliMode mode) {
+  MliCollector collector(region, mode);
+  for (const TraceRecord& rec : records) collector.add(rec);
+  return collector.finish();
+}
+
+}  // namespace ac::analysis

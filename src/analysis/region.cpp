@@ -1,0 +1,32 @@
+#include "analysis/region.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace ac::analysis {
+
+MclRegion find_mcl_region(const std::string& source, std::string function) {
+  int begin = -1;
+  int end = -1;
+  int line = 1;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t nl = source.find('\n', pos);
+    const std::string_view text =
+        std::string_view(source).substr(pos, nl == std::string::npos ? source.size() - pos : nl - pos);
+    if (text.find("//@mcl-begin") != std::string_view::npos) begin = line + 1;
+    if (text.find("//@mcl-end") != std::string_view::npos) end = line - 1;
+    if (nl == std::string::npos) break;
+    pos = nl + 1;
+    ++line;
+  }
+  if (begin < 0 || end < 0) throw AnalysisError("missing //@mcl-begin or //@mcl-end marker");
+  if (end < begin) throw AnalysisError("inverted MCL markers");
+  MclRegion region;
+  region.function = std::move(function);
+  region.begin_line = begin;
+  region.end_line = end;
+  return region;
+}
+
+}  // namespace ac::analysis

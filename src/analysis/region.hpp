@@ -1,0 +1,29 @@
+// Main-computation-loop (MCL) region description and source-marker scanning.
+//
+// AutoCheck's user contract (paper §VII "Use of AutoCheck"): the user supplies
+// the loop's host function and its start/end source lines. For the bundled
+// mini-apps the region is marked in the MiniC source with
+//     //@mcl-begin
+//     for (...) { ... }
+//     //@mcl-end
+// and recovered with find_mcl_region().
+#pragma once
+
+#include <string>
+
+namespace ac::analysis {
+
+struct MclRegion {
+  std::string function = "main";
+  int begin_line = 0;  // the loop-header line (the `for`/`while` line)
+  int end_line = 0;    // the last line of the loop body
+
+  bool contains(int line) const { return line >= begin_line && line <= end_line; }
+};
+
+/// Scan `source` for the //@mcl-begin / //@mcl-end markers; the region starts
+/// on the line following the begin marker and ends on the line preceding the
+/// end marker. Throws ac::AnalysisError when markers are missing or inverted.
+MclRegion find_mcl_region(const std::string& source, std::string function = "main");
+
+}  // namespace ac::analysis

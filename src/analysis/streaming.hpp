@@ -1,0 +1,47 @@
+// Streaming (trace-file-free) AutoCheck — the paper's stated future work:
+// "incorporate AutoCheck into LLVM to be an independent LLVM instrumentation
+// tool to eliminate the performance bottleneck because of trace file
+// processing" (§IX).
+//
+// Instead of materializing the dynamic trace, the instrumented execution
+// feeds records directly into the analysis, twice:
+//   pass 1 — partition discovery + MLI identification (MliCollector);
+//   pass 2 — dependency analysis over the identical re-execution
+//            (DepAnalyzer; deterministic programs replay identically).
+// Batch and streaming verdicts are identical by construction — the batch
+// entry points are wrappers over the same incremental classes — and the
+// equivalence is verified by tests over all 14 benchmarks.
+#pragma once
+
+#include "analysis/autocheck.hpp"
+
+namespace ac::analysis {
+
+class StreamingAutoCheck {
+ public:
+  explicit StreamingAutoCheck(const MclRegion& region, const AutoCheckOptions& opts = {});
+
+  /// Pass 1: feed every record of the first execution, then seal it.
+  void pass1_add(const trace::TraceRecord& rec);
+  void finish_pass1();
+
+  /// Pass 2: feed every record of the (identical) second execution.
+  /// Throws if pass 1 was not finished.
+  void pass2_add(const trace::TraceRecord& rec);
+
+  /// Classification + DDG contraction; returns the same Report as
+  /// analyze_records() on the materialized trace.
+  Report finish();
+
+ private:
+  MclRegion region_;
+  AutoCheckOptions opts_;
+  Report report_;
+  MliCollector collector_;
+  std::unique_ptr<DepAnalyzer> analyzer_;
+  double pass1_seconds_ = 0;
+  double pass2_seconds_ = 0;
+  bool pass1_done_ = false;
+};
+
+}  // namespace ac::analysis

@@ -1,0 +1,52 @@
+#include "analysis/vartable.hpp"
+
+#include "support/strings.hpp"
+
+namespace ac::analysis {
+
+int VarTable::canonical(const std::string& func, const std::string& name, int decl_line,
+                        std::uint64_t bytes) {
+  std::string key = func;
+  key.push_back('\0');
+  key += name;
+  key.push_back('\0');
+  key += strf("%d", decl_line);
+  auto [it, inserted] = index_.emplace(std::move(key), static_cast<int>(defs_.size()));
+  if (inserted) {
+    VarDef def;
+    def.id = it->second;
+    def.name = name;
+    def.func = func;
+    def.decl_line = decl_line;
+    def.bytes = bytes;
+    defs_.push_back(std::move(def));
+  } else if (bytes > 0) {
+    defs_[static_cast<std::size_t>(it->second)].bytes = bytes;
+  }
+  return it->second;
+}
+
+void AddressMap::bind(std::uint64_t base, std::uint64_t bytes, int var_id) {
+  const std::uint64_t end = base + bytes;
+  // Evict intervals overlapping [base, end).
+  auto it = by_base_.upper_bound(base);
+  if (it != by_base_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.bytes > base) it = prev;
+  }
+  while (it != by_base_.end() && it->first < end) it = by_base_.erase(it);
+  by_base_.emplace(base, Interval{bytes, var_id});
+}
+
+std::optional<AddressMap::Hit> AddressMap::resolve(std::uint64_t addr) const {
+  auto it = by_base_.upper_bound(addr);
+  if (it == by_base_.begin()) return std::nullopt;
+  --it;
+  if (addr >= it->first + it->second.bytes) return std::nullopt;
+  Hit hit;
+  hit.var = it->second.var;
+  hit.elem = static_cast<std::int64_t>((addr - it->first) / 8);
+  return hit;
+}
+
+}  // namespace ac::analysis

@@ -1,0 +1,69 @@
+// Variable identity and the on-the-fly address map.
+//
+// VarTable assigns one canonical id per logical variable, keyed by
+// (function, name, declaration line) — so `sum` in main and a deceiver local
+// `sum` inside a callee (the paper's Challenge 2) are distinct, while the
+// same local across repeated invocations of one function is a single logical
+// variable.
+//
+// AddressMap tracks which canonical variable currently owns each address
+// interval. It is updated in trace order exactly like the paper's reg-var
+// map: a fresh Alloca overrides whatever previously occupied that stack
+// region (the VM reuses stack addresses across calls, so this matters).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ac::analysis {
+
+struct VarDef {
+  int id = -1;
+  std::string name;
+  std::string func;  // "<global>" for module globals
+  int decl_line = 0;
+  std::uint64_t bytes = 0;  // storage footprint (last seen)
+
+  bool is_global() const { return func == "<global>"; }
+};
+
+class VarTable {
+ public:
+  /// Get-or-create the canonical id for (func, name, decl_line).
+  int canonical(const std::string& func, const std::string& name, int decl_line,
+                std::uint64_t bytes);
+
+  const VarDef& def(int id) const { return defs_.at(static_cast<std::size_t>(id)); }
+  std::size_t size() const { return defs_.size(); }
+
+ private:
+  std::map<std::string, int> index_;  // "func\0name\0line" -> id
+  std::vector<VarDef> defs_;
+};
+
+class AddressMap {
+ public:
+  /// Bind [base, base+bytes) to `var_id`, evicting overlapped intervals.
+  void bind(std::uint64_t base, std::uint64_t bytes, int var_id);
+
+  struct Hit {
+    int var = -1;
+    std::int64_t elem = 0;  // 8-byte element index within the variable
+  };
+
+  /// Resolve an address to the owning variable, or nullopt for foreign
+  /// addresses (which a well-formed trace never produces).
+  std::optional<Hit> resolve(std::uint64_t addr) const;
+
+ private:
+  struct Interval {
+    std::uint64_t bytes = 0;
+    int var = -1;
+  };
+  std::map<std::uint64_t, Interval> by_base_;
+};
+
+}  // namespace ac::analysis

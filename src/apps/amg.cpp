@@ -1,0 +1,111 @@
+#include "apps/app.hpp"
+
+namespace ac::apps {
+
+// AMG (ECP): outer loop over successive linear solves. The preconditioner
+// diagonal is rescaled incrementally across solves (WAR), the cumulative
+// solver statistics cum_num_its / cum_nnz_AP / hypre_global_error accumulate
+// (WAR), and final_res_norm is produced by the loop and only consumed by the
+// verification prints after it (Outcome). j is the Index variable.
+App make_amg() {
+  App app;
+  app.name = "AMG";
+  app.description = "Algebraic Multi-Grid linear-system solver driver (ECP)";
+  app.paper_mclr = "462-553 (amg.c)";
+  app.default_params = {{"N", "16"}, {"NPROB", "5"}, {"SMAX", "6"}};
+  app.table2_params = {{"N", "24"}, {"NPROB", "8"}, {"SMAX", "8"}};
+  app.table4_params = {{"N", "96"}, {"NPROB", "3"}, {"SMAX", "4"}};
+  app.expected = {
+      {"diagonal", analysis::DepType::WAR},
+      {"cum_num_its", analysis::DepType::WAR},
+      {"cum_nnz_AP", analysis::DepType::WAR},
+      {"hypre_global_error", analysis::DepType::WAR},
+      {"final_res_norm", analysis::DepType::Outcome},
+      {"j", analysis::DepType::Index},
+  };
+  app.source_template = R"(
+double A[${N}][${N}];
+double diagonal[${N}];
+double x[${N}];
+double rhs[${N}];
+int cum_num_its;
+double cum_nnz_AP;
+double hypre_global_error;
+double final_res_norm;
+
+int run_solve() {
+  int its = 0;
+  for (int s = 1; s <= ${SMAX}; s = s + 1) {
+    for (int i = 0; i < ${N}; i = i + 1) {
+      double sum = 0.0;
+      for (int k = 0; k < ${N}; k = k + 1) {
+        sum = sum + A[i][k] * x[k];
+      }
+      x[i] = x[i] + (rhs[i] - sum) / diagonal[i];
+    }
+    its = its + 1;
+  }
+  return its;
+}
+
+double residual_norm() {
+  double acc = 0.0;
+  for (int i = 0; i < ${N}; i = i + 1) {
+    double sum = 0.0;
+    for (int k = 0; k < ${N}; k = k + 1) {
+      sum = sum + A[i][k] * x[k];
+    }
+    double d = rhs[i] - sum;
+    acc = acc + d * d;
+  }
+  return sqrt(acc);
+}
+
+int main() {
+  int i;
+  int k;
+  for (i = 0; i < ${N}; i = i + 1) {
+    for (k = 0; k < ${N}; k = k + 1) {
+      A[i][k] = 0.0;
+      if (i == k) { A[i][k] = 8.0; }
+      if (i == k + 1 || k == i + 1) { A[i][k] = -1.0; }
+    }
+    diagonal[i] = 8.0;
+    x[i] = 0.0;
+    rhs[i] = 1.0;
+  }
+  cum_num_its = 0;
+  cum_nnz_AP = 0.0;
+  hypre_global_error = 0.0;
+  final_res_norm = 0.0;
+  //@mcl-begin
+  for (int j = 1; j <= ${NPROB}; j = j + 1) {
+    for (int ii = 0; ii < ${N}; ii = ii + 1) {
+      diagonal[ii] = diagonal[ii] * 1.02;
+      rhs[ii] = 1.0 + 0.1 * (ii % 5) + 0.01 * j;
+      x[ii] = 0.0;
+    }
+    int its = run_solve();
+    cum_num_its = cum_num_its + its;
+    cum_nnz_AP = cum_nnz_AP + 3.0 * ${N};
+    double res = residual_norm();
+    hypre_global_error = hypre_global_error + res * 0.000001;
+    final_res_norm = res;
+  }
+  //@mcl-end
+  print_int(cum_num_its);
+  print_float(cum_nnz_AP);
+  print_float(hypre_global_error);
+  print_float(final_res_norm);
+  double cs = 0.0;
+  for (int m = 0; m < ${N}; m = m + 1) {
+    cs = cs + diagonal[m] * (m + 1);
+  }
+  print_float(cs);
+  return 0;
+}
+)";
+  return app;
+}
+
+}  // namespace ac::apps

@@ -1,0 +1,114 @@
+#include "apps/app.hpp"
+
+namespace ac::apps {
+
+// BT (NPB): block tri-diagonal solver skeleton over a 5-component field.
+// The carried solution u feeds the RHS computation (stale read) and receives
+// the swept update (stale read + refresh) -> WAR; rhs is recomputed every
+// step (safe); `step` is the Index variable.
+App make_bt() {
+  App app;
+  app.name = "BT";
+  app.description = "Block Tri-diagonal solver (NPB)";
+  app.paper_mclr = "180-186 (bt.c)";
+  app.default_params = {{"G", "8"}, {"NS", "6"}};
+  app.table2_params = {{"G", "12"}, {"NS", "10"}};
+  app.table4_params = {{"G", "24"}, {"NS", "4"}};
+  app.expected = {{"u", analysis::DepType::WAR}, {"step", analysis::DepType::Index}};
+  app.source_template = R"(
+double u[${G}][${G}][5];
+double rhs[${G}][${G}][5];
+
+void compute_rhs() {
+  int i;
+  int j;
+  int m;
+  for (i = 1; i < ${G} - 1; i = i + 1) {
+    for (j = 1; j < ${G} - 1; j = j + 1) {
+      for (m = 0; m < 5; m = m + 1) {
+        rhs[i][j][m] = 0.1 * (u[i + 1][j][m] + u[i - 1][j][m]
+                              + u[i][j + 1][m] + u[i][j - 1][m]
+                              - 4.0 * u[i][j][m])
+                     + 0.0001 * (i + j + m);
+      }
+    }
+  }
+}
+
+void x_solve() {
+  int i;
+  int j;
+  int m;
+  for (i = 2; i < ${G} - 1; i = i + 1) {
+    for (j = 1; j < ${G} - 1; j = j + 1) {
+      for (m = 0; m < 5; m = m + 1) {
+        rhs[i][j][m] = rhs[i][j][m] - 0.3 * rhs[i - 1][j][m]
+                     + 0.01 * rhs[i - 1][j][(m + 1) % 5];
+      }
+    }
+  }
+}
+
+void y_solve() {
+  int i;
+  int j;
+  int m;
+  for (i = 1; i < ${G} - 1; i = i + 1) {
+    for (j = 2; j < ${G} - 1; j = j + 1) {
+      for (m = 0; m < 5; m = m + 1) {
+        rhs[i][j][m] = rhs[i][j][m] - 0.3 * rhs[i][j - 1][m]
+                     + 0.01 * rhs[i][j - 1][(m + 2) % 5];
+      }
+    }
+  }
+}
+
+void add() {
+  int i;
+  int j;
+  int m;
+  for (i = 1; i < ${G} - 1; i = i + 1) {
+    for (j = 1; j < ${G} - 1; j = j + 1) {
+      for (m = 0; m < 5; m = m + 1) {
+        u[i][j][m] = u[i][j][m] + rhs[i][j][m];
+      }
+    }
+  }
+}
+
+int main() {
+  int i;
+  int j;
+  int m;
+  for (i = 0; i < ${G}; i = i + 1) {
+    for (j = 0; j < ${G}; j = j + 1) {
+      for (m = 0; m < 5; m = m + 1) {
+        u[i][j][m] = 0.02 * ((i + 2 * j + 3 * m) % 5);
+        rhs[i][j][m] = 0.0;
+      }
+    }
+  }
+  //@mcl-begin
+  for (int step = 1; step <= ${NS}; step = step + 1) {
+    compute_rhs();
+    x_solve();
+    y_solve();
+    add();
+  }
+  //@mcl-end
+  double cs = 0.0;
+  for (int a = 0; a < ${G}; a = a + 1) {
+    for (int b = 0; b < ${G}; b = b + 1) {
+      for (int c = 0; c < 5; c = c + 1) {
+        cs = cs + u[a][b][c] * (a + b + c + 1);
+      }
+    }
+  }
+  print_float(cs);
+  return 0;
+}
+)";
+  return app;
+}
+
+}  // namespace ac::apps

@@ -1,0 +1,118 @@
+#include "apps/app.hpp"
+
+namespace ac::apps {
+
+// CG (NPB): the paper's case study (Algorithm 2). conj_grad re-initializes
+// z/r/p and recomputes q at the start of every invocation, so none of them
+// carries state across outer iterations; x is read at conj_grad entry
+// (r = x) and overwritten after it (x = z/||z||) -> WAR. `it` is the Index
+// variable. A is read-only.
+App make_cg() {
+  App app;
+  app.name = "CG";
+  app.description = "Conjugate Gradient with irregular memory access (NPB)";
+  app.paper_mclr = "296-330 (cg.c)";
+  app.default_params = {{"N", "24"}, {"NITER", "4"}, {"CGITMAX", "5"}};
+  app.table2_params = {{"N", "40"}, {"NITER", "6"}, {"CGITMAX", "8"}};
+  app.table4_params = {{"N", "96"}, {"NITER", "3"}, {"CGITMAX", "4"}};
+  app.expected = {{"x", analysis::DepType::WAR}, {"it", analysis::DepType::Index}};
+  app.source_template = R"(
+double A[${N}][${N}];
+double x[${N}];
+double z[${N}];
+double p[${N}];
+double q[${N}];
+double r[${N}];
+
+double conj_grad() {
+  int j;
+  int k;
+  int cgit;
+  double rho = 0.0;
+  for (j = 0; j < ${N}; j = j + 1) {
+    z[j] = 0.0;
+    r[j] = x[j];
+    p[j] = r[j];
+    rho = rho + r[j] * r[j];
+  }
+  for (cgit = 1; cgit <= ${CGITMAX}; cgit = cgit + 1) {
+    for (j = 0; j < ${N}; j = j + 1) {
+      double s = 0.0;
+      for (k = 0; k < ${N}; k = k + 1) {
+        s = s + A[j][k] * p[k];
+      }
+      q[j] = s;
+    }
+    double d = 0.0;
+    for (j = 0; j < ${N}; j = j + 1) {
+      d = d + p[j] * q[j];
+    }
+    double alpha = rho / d;
+    for (j = 0; j < ${N}; j = j + 1) {
+      z[j] = z[j] + alpha * p[j];
+      r[j] = r[j] - alpha * q[j];
+    }
+    double rho0 = rho;
+    rho = 0.0;
+    for (j = 0; j < ${N}; j = j + 1) {
+      rho = rho + r[j] * r[j];
+    }
+    double beta = rho / rho0;
+    for (j = 0; j < ${N}; j = j + 1) {
+      p[j] = r[j] + beta * p[j];
+    }
+  }
+  double sum = 0.0;
+  for (j = 0; j < ${N}; j = j + 1) {
+    double s = 0.0;
+    for (k = 0; k < ${N}; k = k + 1) {
+      s = s + A[j][k] * z[k];
+    }
+    double dd = x[j] - s;
+    sum = sum + dd * dd;
+  }
+  return sqrt(sum);
+}
+
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < ${N}; i = i + 1) {
+    for (j = 0; j < ${N}; j = j + 1) {
+      A[i][j] = 0.0;
+      if (i == j) { A[i][j] = 6.0; }
+      if (i == j + 1 || j == i + 1) { A[i][j] = -1.0; }
+      if (i == j + 3 || j == i + 3) { A[i][j] = -0.5; }
+    }
+    x[i] = 1.0;
+    z[i] = 0.0;
+    p[i] = 0.0;
+    q[i] = 0.0;
+    r[i] = 0.0;
+  }
+  double rnorm = 0.0;
+  //@mcl-begin
+  for (int it = 1; it <= ${NITER}; it = it + 1) {
+    rnorm = conj_grad();
+    double znorm = 0.0;
+    for (int jj = 0; jj < ${N}; jj = jj + 1) {
+      znorm = znorm + z[jj] * z[jj];
+    }
+    znorm = sqrt(znorm);
+    for (int jj = 0; jj < ${N}; jj = jj + 1) {
+      x[jj] = z[jj] / znorm;
+    }
+  }
+  //@mcl-end
+  double cs = 0.0;
+  for (int m = 0; m < ${N}; m = m + 1) {
+    cs = cs + x[m] * (m + 1);
+  }
+  print_float(cs);
+  return 0;
+}
+)";
+  return app;
+}
+
+}  // namespace ac::apps

@@ -1,0 +1,92 @@
+#include "apps/app.hpp"
+
+namespace ac::apps {
+
+// CoMD (ECP): molecular-dynamics velocity-Verlet stepping. `sim` models the
+// SimFlatSt state (positions in components 0-2, velocities in 3-5): forces
+// are recomputed each step (safe), but positions/velocities advance from
+// their previous-step values -> sim is WAR. perfTimer accumulates (WAR);
+// iStep is Index.
+App make_comd() {
+  App app;
+  app.name = "CoMD";
+  app.description = "Molecular dynamics proxy (ECP)";
+  app.paper_mclr = "113-126 (CoMD.c)";
+  app.default_params = {{"NP", "24"}, {"NS", "6"}};
+  app.table2_params = {{"NP", "48"}, {"NS", "10"}};
+  app.table4_params = {{"NP", "256"}, {"NS", "3"}};
+  app.expected = {
+      {"sim", analysis::DepType::WAR},
+      {"perfTimer", analysis::DepType::WAR},
+      {"iStep", analysis::DepType::Index},
+  };
+  app.source_template = R"(
+double sim[${NP}][6];
+double force[${NP}][3];
+double perfTimer;
+
+void compute_force() {
+  int i;
+  int j;
+  int d;
+  for (i = 0; i < ${NP}; i = i + 1) {
+    for (d = 0; d < 3; d = d + 1) {
+      force[i][d] = 0.0;
+    }
+  }
+  for (i = 0; i < ${NP}; i = i + 1) {
+    for (j = 0; j < ${NP}; j = j + 1) {
+      if (i != j) {
+        for (d = 0; d < 3; d = d + 1) {
+          double dx = sim[j][d] - sim[i][d];
+          force[i][d] = force[i][d] + 0.0005 * dx;
+        }
+      }
+    }
+  }
+}
+
+int main() {
+  int seed = 20061;
+  for (int i = 0; i < ${NP}; i = i + 1) {
+    for (int d = 0; d < 3; d = d + 1) {
+      seed = (seed * 69069 + 12345) % 2147483647;
+      if (seed < 0) { seed = 0 - seed; }
+      sim[i][d] = (seed % 1000) * 0.01;
+      sim[i][d + 3] = 0.0;
+      force[i][d] = 0.0;
+    }
+  }
+  perfTimer = 0.0;
+  //@mcl-begin
+  for (int iStep = 1; iStep <= ${NS}; iStep = iStep + 1) {
+    double t0 = timer();
+    compute_force();
+    for (int i = 0; i < ${NP}; i = i + 1) {
+      for (int d = 0; d < 3; d = d + 1) {
+        sim[i][d + 3] = sim[i][d + 3] * 0.999 + 0.01 * force[i][d];
+      }
+    }
+    for (int i = 0; i < ${NP}; i = i + 1) {
+      for (int d = 0; d < 3; d = d + 1) {
+        sim[i][d] = sim[i][d] + 0.05 * sim[i][d + 3];
+      }
+    }
+    perfTimer = perfTimer + (timer() - t0);
+  }
+  //@mcl-end
+  double cs = 0.0;
+  for (int a = 0; a < ${NP}; a = a + 1) {
+    for (int c = 0; c < 6; c = c + 1) {
+      cs = cs + sim[a][c] * (a % 9 + c + 1);
+    }
+  }
+  print_float(cs);
+  print_float(perfTimer);
+  return 0;
+}
+)";
+  return app;
+}
+
+}  // namespace ac::apps

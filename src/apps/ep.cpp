@@ -1,0 +1,75 @@
+#include "apps/app.hpp"
+
+namespace ac::apps {
+
+// EP (NPB): embarrassingly parallel Gaussian-pair generation. The per-batch
+// RNG seed is recomputed from the batch index k (safe local), while the
+// histogram q and the running sums sx/sy accumulate across iterations
+// (stale read of their own previous value, refreshed in the same iteration
+// -> WAR, not RAPO). k is the Index variable.
+App make_ep() {
+  App app;
+  app.name = "EP";
+  app.description = "Embarrassingly Parallel random-pair generation (NPB)";
+  app.paper_mclr = "168-213 (ep.c)";
+  app.default_params = {{"NK", "6"}, {"PAIRS", "64"}};
+  app.table2_params = {{"NK", "10"}, {"PAIRS", "256"}};
+  app.table4_params = {{"NK", "4"}, {"PAIRS", "512"}};
+  app.expected = {
+      {"sy", analysis::DepType::WAR},
+      {"q", analysis::DepType::WAR},
+      {"sx", analysis::DepType::WAR},
+      {"k", analysis::DepType::Index},
+  };
+  app.source_template = R"(
+double q[10];
+double sx;
+double sy;
+
+int main() {
+  for (int i = 0; i < 10; i = i + 1) {
+    q[i] = 0.0;
+  }
+  sx = 0.0;
+  sy = 0.0;
+  //@mcl-begin
+  for (int k = 1; k <= ${NK}; k = k + 1) {
+    int seed = 271828183 + k * 104729;
+    for (int n = 0; n < ${PAIRS}; n = n + 1) {
+      seed = (seed * 69069 + 12345) % 2147483647;
+      if (seed < 0) { seed = 0 - seed; }
+      double x1 = (seed % 2000) * 0.001 - 1.0;
+      seed = (seed * 69069 + 12345) % 2147483647;
+      if (seed < 0) { seed = 0 - seed; }
+      double x2 = (seed % 2000) * 0.001 - 1.0;
+      double t = x1 * x1 + x2 * x2;
+      if (t <= 1.0 && t > 0.0) {
+        double factor = sqrt(0.0 - 2.0 * log(t) / t);
+        double xg = x1 * factor;
+        double yg = x2 * factor;
+        double ax = fabs(xg);
+        double ay = fabs(yg);
+        int l = ax;
+        if (ay > ax) { l = ay; }
+        if (l > 9) { l = 9; }
+        q[l] = q[l] + 1.0;
+        sx = sx + xg;
+        sy = sy + yg;
+      }
+    }
+  }
+  //@mcl-end
+  double cs = 0.0;
+  for (int m = 0; m < 10; m = m + 1) {
+    cs = cs + q[m] * (m + 1);
+  }
+  print_float(cs);
+  print_float(sx);
+  print_float(sy);
+  return 0;
+}
+)";
+  return app;
+}
+
+}  // namespace ac::apps

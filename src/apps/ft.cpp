@@ -1,0 +1,86 @@
+#include "apps/app.hpp"
+
+namespace ac::apps {
+
+// FT (NPB): spectral evolution + butterfly mixing on a complex field. The
+// global field y is evolved in place (stale read then overwrite -> WAR); the
+// per-iteration checksum lands in sum[kt], an array written inside the loop
+// and only consumed by the verification prints after it -> Outcome (this is
+// the paper's `sums` array, named `sum` in its Table II); kt is Index.
+// Reproduces the paper's Challenge-1 setup: the globals y and twiddle are
+// used inside function calls within the main loop.
+App make_ft() {
+  App app;
+  app.name = "FT";
+  app.description = "Discrete 3D Fast Fourier Transform (NPB)";
+  app.paper_mclr = "101-111 (appft.c)";
+  app.default_params = {{"N", "32"}, {"NITER", "6"}, {"NITER1", "7"}};
+  app.table2_params = {{"N", "64"}, {"NITER", "10"}, {"NITER1", "11"}};
+  app.table4_params = {{"N", "256"}, {"NITER", "4"}, {"NITER1", "5"}};
+  app.expected = {{"y", analysis::DepType::WAR},
+                  {"sum", analysis::DepType::Outcome},
+                  {"kt", analysis::DepType::Index}};
+  app.source_template = R"(
+double y[${N}][2];
+double twiddle[${N}];
+double sum[${NITER1}][2];
+
+void evolve() {
+  for (int i = 0; i < ${N}; i = i + 1) {
+    y[i][0] = y[i][0] * twiddle[i];
+    y[i][1] = y[i][1] * twiddle[i];
+  }
+}
+
+void fft_pass() {
+  int half = ${N} / 2;
+  for (int i = 0; i < half; i = i + 1) {
+    double ar = y[i][0];
+    double ai = y[i][1];
+    double br = y[i + half][0];
+    double bi = y[i + half][1];
+    y[i][0] = (ar + br) * 0.7071;
+    y[i][1] = (ai + bi) * 0.7071;
+    y[i + half][0] = (ar - br) * 0.7071;
+    y[i + half][1] = (ai - bi) * 0.7071;
+  }
+}
+
+int main() {
+  int seed = 314159;
+  for (int i = 0; i < ${N}; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    y[i][0] = (seed % 1000) * 0.001;
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    y[i][1] = (seed % 1000) * 0.001;
+    twiddle[i] = 0.95 + 0.0001 * (i % 50);
+  }
+  for (int t = 0; t < ${NITER1}; t = t + 1) {
+    sum[t][0] = 0.0;
+    sum[t][1] = 0.0;
+  }
+  //@mcl-begin
+  for (int kt = 1; kt <= ${NITER}; kt = kt + 1) {
+    evolve();
+    fft_pass();
+    double cr = 0.0;
+    double ci = 0.0;
+    for (int i = 0; i < ${N}; i = i + 1) {
+      cr = cr + y[i][0];
+      ci = ci + y[i][1];
+    }
+    sum[kt][0] = cr;
+    sum[kt][1] = ci;
+  }
+  //@mcl-end
+  for (int t = 1; t <= ${NITER}; t = t + 1) {
+    print_float(sum[t][0]);
+    print_float(sum[t][1]);
+  }
+  return 0;
+}
+)";
+  return app;
+}
+
+}  // namespace ac::apps

@@ -1,0 +1,85 @@
+#include "apps/app.hpp"
+
+namespace ac::apps {
+
+// HACC: N-body particle stepping with a particle-mesh-style density grid.
+// The grid is re-deposited from scratch every step (safe); the `particles`
+// phase-space state (positions 0-2, velocities 3-5) advances from its
+// previous-step values -> WAR. step is the Index variable.
+App make_hacc() {
+  App app;
+  app.name = "HACC";
+  app.description = "Hardware Accelerated Cosmology Code framework (N-body)";
+  app.paper_mclr = "318-523 (driver_hires-local.cxx)";
+  app.default_params = {{"NP", "32"}, {"G", "16"}, {"NS", "6"}};
+  app.table2_params = {{"NP", "64"}, {"G", "32"}, {"NS", "10"}};
+  app.table4_params = {{"NP", "512"}, {"G", "64"}, {"NS", "3"}};
+  app.expected = {{"particles", analysis::DepType::WAR},
+                  {"step", analysis::DepType::Index}};
+  app.source_template = R"(
+double particles[${NP}][6];
+double grid[${G}];
+
+void deposit_density() {
+  int g;
+  int i;
+  for (g = 0; g < ${G}; g = g + 1) {
+    grid[g] = 0.0;
+  }
+  for (i = 0; i < ${NP}; i = i + 1) {
+    double px = particles[i][0];
+    int cell = px;
+    if (cell < 0) { cell = 0 - cell; }
+    cell = cell % ${G};
+    grid[cell] = grid[cell] + 1.0;
+  }
+}
+
+int main() {
+  int seed = 42;
+  for (int i = 0; i < ${NP}; i = i + 1) {
+    for (int d = 0; d < 3; d = d + 1) {
+      seed = (seed * 69069 + 12345) % 2147483647;
+      if (seed < 0) { seed = 0 - seed; }
+      particles[i][d] = (seed % 1000) * 0.031;
+      particles[i][d + 3] = ((seed % 7) - 3) * 0.01;
+    }
+  }
+  for (int g = 0; g < ${G}; g = g + 1) {
+    grid[g] = 0.0;
+  }
+  //@mcl-begin
+  for (int step = 1; step <= ${NS}; step = step + 1) {
+    deposit_density();
+    for (int i = 0; i < ${NP}; i = i + 1) {
+      double px = particles[i][0];
+      int cell = px;
+      if (cell < 0) { cell = 0 - cell; }
+      cell = cell % ${G};
+      double rho = grid[cell];
+      for (int d = 0; d < 3; d = d + 1) {
+        double pull = 0.5 - 0.001 * particles[i][d];
+        particles[i][d + 3] = particles[i][d + 3] * 0.995 + 0.002 * pull * rho;
+      }
+    }
+    for (int i = 0; i < ${NP}; i = i + 1) {
+      for (int d = 0; d < 3; d = d + 1) {
+        particles[i][d] = particles[i][d] + 0.05 * particles[i][d + 3];
+      }
+    }
+  }
+  //@mcl-end
+  double cs = 0.0;
+  for (int a = 0; a < ${NP}; a = a + 1) {
+    for (int c = 0; c < 6; c = c + 1) {
+      cs = cs + particles[a][c] * (a % 11 + c + 1);
+    }
+  }
+  print_float(cs);
+  return 0;
+}
+)";
+  return app;
+}
+
+}  // namespace ac::apps

@@ -1,0 +1,185 @@
+#include "apps/harness.hpp"
+
+#include "analysis/streaming.hpp"
+
+#include "ckpt/ftilite.hpp"
+#include "minic/compiler.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+#include "trace/reader.hpp"
+#include "trace/writer.hpp"
+
+namespace ac::apps {
+
+namespace {
+
+vm::MclRegion to_vm_region(const analysis::MclRegion& r) {
+  vm::MclRegion out;
+  out.function = r.function;
+  out.begin_line = r.begin_line;
+  out.end_line = r.end_line;
+  return out;
+}
+
+}  // namespace
+
+AnalysisRun analyze_app(const App& app, const Params& params,
+                        const analysis::AutoCheckOptions& opts) {
+  AnalysisRun run;
+  const std::string src = app.source(params);
+  run.module = minic::compile(src);
+  run.region = app.mcl();
+
+  trace::MemorySink sink;
+  vm::RunOptions ropts;
+  ropts.sink = &sink;
+  run.trace_run = vm::run_module(run.module, ropts);
+  run.trace_records = sink.count();
+  run.report = analysis::analyze_records(sink.records(), run.region, opts);
+  return run;
+}
+
+StreamingRun analyze_app_streaming(const App& app, const Params& params,
+                                   const analysis::AutoCheckOptions& opts) {
+  StreamingRun run;
+  const std::string src = app.source(params);
+  run.module = minic::compile(src);
+  run.region = app.mcl();
+
+  analysis::StreamingAutoCheck streaming(run.region, opts);
+  WallTimer timer;
+  {
+    trace::CallbackSink sink([&](const trace::TraceRecord& rec) { streaming.pass1_add(rec); });
+    vm::RunOptions ropts;
+    ropts.sink = &sink;
+    vm::run_module(run.module, ropts);
+    run.records_streamed = sink.count();
+  }
+  streaming.finish_pass1();
+  const double pass1 = timer.seconds();
+
+  timer.reset();
+  {
+    trace::CallbackSink sink([&](const trace::TraceRecord& rec) { streaming.pass2_add(rec); });
+    vm::RunOptions ropts;
+    ropts.sink = &sink;
+    vm::run_module(run.module, ropts);
+  }
+  const double pass2 = timer.seconds();
+
+  run.report = streaming.finish();
+  run.report.timings.preprocessing = pass1;
+  run.report.timings.dep_analysis = pass2;
+  return run;
+}
+
+FileAnalysisRun analyze_app_via_file(const App& app, const Params& params,
+                                     const std::string& trace_path,
+                                     const analysis::AutoCheckOptions& opts) {
+  FileAnalysisRun out;
+  const std::string src = app.source(params);
+  const ir::Module module = minic::compile(src);
+
+  WallTimer gen_timer;
+  {
+    trace::FileSink sink(trace_path);
+    vm::RunOptions ropts;
+    ropts.sink = &sink;
+    vm::run_module(module, ropts);
+    sink.close();
+    out.trace_bytes = sink.bytes();
+    out.trace_records = sink.count();
+  }
+  out.trace_generation_seconds = gen_timer.seconds();
+
+  out.report = analysis::analyze_file(trace_path, app.mcl(), opts);
+  return out;
+}
+
+ValidationResult validate_cr(const ir::Module& module, const analysis::MclRegion& region,
+                             const std::vector<std::string>& protect, int fail_at,
+                             const std::string& work_dir, const std::string& tag,
+                             int checkpoint_interval) {
+  ValidationResult out;
+
+  // Failure-free reference run.
+  {
+    vm::RunOptions ropts;
+    const vm::RunResult ref = vm::run_module(module, ropts);
+    out.reference_output = ref.output;
+  }
+
+  ckpt::FtiLite fti(work_dir, tag);
+  fti.reset();
+
+  // Failing run with per-iteration checkpoints of the protected variables.
+  {
+    vm::RunOptions ropts;
+    ropts.mcl = to_vm_region(region);
+    ropts.protect = protect;
+    int written = 0;
+    ropts.on_checkpoint = [&](const ckpt::CheckpointImage& img) {
+      fti.checkpoint(img);
+      ++written;
+    };
+    ropts.checkpoint_interval = checkpoint_interval;
+    ropts.fail_at_iteration = fail_at;
+    const vm::RunResult failed = vm::run_module(module, ropts);
+    out.checkpoints_written = written;
+    if (!failed.failed) {
+      throw Error("validate_cr: failure injection did not fire "
+                  "(fail_at beyond the loop's iteration count?)");
+    }
+  }
+
+  // Restart run: restore the last checkpoint right before the loop re-enters.
+  {
+    if (!fti.has_checkpoint()) throw Error("validate_cr: no checkpoint was written");
+    const ckpt::CheckpointImage img = fti.recover();
+    out.last_checkpoint_iteration = img.iteration();
+    vm::RunOptions ropts;
+    ropts.mcl = to_vm_region(region);
+    ropts.restore = &img;
+    const vm::RunResult restarted = vm::run_module(module, ropts);
+    out.restart_output = restarted.output;
+  }
+
+  out.restart_matches = out.restart_output == out.reference_output;
+  return out;
+}
+
+ValidationResult validate_app(const App& app, const Params& params, int fail_at,
+                              const std::string& work_dir) {
+  AnalysisRun run = analyze_app(app, params);
+  return validate_cr(run.module, run.region, run.report.critical_names(), fail_at, work_dir,
+                     app.name);
+}
+
+StorageResult measure_storage(const App& app, const Params& params,
+                              const std::vector<std::string>& protect,
+                              const std::string& work_dir) {
+  StorageResult out;
+  const std::string src = app.source(params);
+  const ir::Module module = minic::compile(src);
+  const analysis::MclRegion region = app.mcl();
+
+  ckpt::FtiLite fti(work_dir, app.name + "_storage");
+  fti.reset();
+  ckpt::MachineState widest;
+
+  vm::RunOptions ropts;
+  ropts.mcl = to_vm_region(region);
+  ropts.protect = protect;
+  ropts.on_checkpoint = [&](const ckpt::CheckpointImage& img) { fti.checkpoint(img); };
+  ropts.on_machine_state = [&](const ckpt::MachineState& st) {
+    if (st.arena_bytes > widest.arena_bytes) widest = st;
+  };
+  vm::run_module(module, ropts);
+
+  out.autocheck_bytes = fti.storage_bytes();
+  out.blcr_bytes =
+      ckpt::BlcrSim::write_image(widest, work_dir + "/" + app.name + "_blcr.img");
+  return out;
+}
+
+}  // namespace ac::apps

@@ -1,0 +1,91 @@
+// Experiment harness tying the whole reproduction together: compile a
+// benchmark, trace it, run AutoCheck, and perform the paper's validation
+// methodology (§VI-B) — checkpoint the identified variables with FtiLite,
+// inject a fail-stop, restart, and compare final output with a failure-free
+// run; plus the Table IV storage measurements against the BLCR-style
+// full-image baseline.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/autocheck.hpp"
+#include "apps/app.hpp"
+#include "ckpt/blcr.hpp"
+#include "vm/interp.hpp"
+
+namespace ac::apps {
+
+/// Compile + trace + analyze one benchmark instance.
+struct AnalysisRun {
+  ir::Module module;
+  analysis::MclRegion region;
+  analysis::Report report;
+  vm::RunResult trace_run;        // the traced execution
+  std::uint64_t trace_records = 0;
+};
+
+AnalysisRun analyze_app(const App& app, const Params& params = {},
+                        const analysis::AutoCheckOptions& opts = {});
+
+/// Trace-file-free analysis (paper §IX future work, see
+/// analysis/streaming.hpp): the VM feeds the analyzer directly, executing the
+/// deterministic program twice — pass 1 identifies the MLI variables, pass 2
+/// runs the dependency analysis. No trace is ever materialized, in memory or
+/// on disk. Timings: preprocessing = pass 1 (execution + MLI), dep_analysis =
+/// pass 2, identify = classification.
+struct StreamingRun {
+  ir::Module module;
+  analysis::MclRegion region;
+  analysis::Report report;
+  std::uint64_t records_streamed = 0;
+};
+
+StreamingRun analyze_app_streaming(const App& app, const Params& params = {},
+                                   const analysis::AutoCheckOptions& opts = {});
+
+/// Same, but stream the trace to `trace_path` and parse it back (the paper's
+/// actual file-based workflow; used for Tables II/III).
+struct FileAnalysisRun {
+  analysis::Report report;
+  std::uint64_t trace_bytes = 0;
+  double trace_generation_seconds = 0;
+  std::uint64_t trace_records = 0;
+};
+
+FileAnalysisRun analyze_app_via_file(const App& app, const Params& params,
+                                     const std::string& trace_path,
+                                     const analysis::AutoCheckOptions& opts = {});
+
+/// C/R validation: checkpoint `protect` every iteration, fail at iteration
+/// `fail_at`, restart from the last checkpoint, diff final outputs.
+struct ValidationResult {
+  bool restart_matches = false;
+  std::string reference_output;
+  std::string restart_output;
+  int checkpoints_written = 0;
+  std::int64_t last_checkpoint_iteration = -1;
+};
+
+ValidationResult validate_cr(const ir::Module& module, const analysis::MclRegion& region,
+                             const std::vector<std::string>& protect, int fail_at,
+                             const std::string& work_dir, const std::string& tag,
+                             int checkpoint_interval = 1);
+
+/// Convenience: run validate_cr with the AutoCheck-identified set.
+ValidationResult validate_app(const App& app, const Params& params, int fail_at,
+                              const std::string& work_dir);
+
+/// Table IV storage measurement: the BLCR-style full-machine image versus the
+/// FtiLite image of the protected variables, both at the loop's widest state.
+struct StorageResult {
+  std::uint64_t blcr_bytes = 0;
+  std::uint64_t autocheck_bytes = 0;
+};
+
+StorageResult measure_storage(const App& app, const Params& params,
+                              const std::vector<std::string>& protect,
+                              const std::string& work_dir);
+
+}  // namespace ac::apps

@@ -1,0 +1,85 @@
+#include "apps/app.hpp"
+
+namespace ac::apps {
+
+// Himeno: Poisson-equation Jacobi solver. The pressure field `p` is read
+// (19-point stencil, here 7-point) by every iteration before the two-phase
+// update copies wrk2 back into it -> WAR; the outer iteration counter `n` is
+// the Index variable. wrk2 is fully overwritten each iteration (safe);
+// boundary cells of p are read-only and reconstructed by initialization.
+App make_himeno() {
+  App app;
+  app.name = "Himeno";
+  app.description = "Poisson equation solver (Jacobi), 3D stencil";
+  app.paper_mclr = "186-217 (himenobmt.c)";
+  app.default_params = {{"M", "6"}, {"NN", "6"}};
+  app.table2_params = {{"M", "10"}, {"NN", "12"}};
+  app.table4_params = {{"M", "16"}, {"NN", "4"}};
+  app.expected = {{"p", analysis::DepType::WAR}, {"n", analysis::DepType::Index}};
+  app.source_template = R"(
+double p[${M}][${M}][${M}];
+double a0[${M}][${M}][${M}];
+double bnd[${M}][${M}][${M}];
+double wrk1[${M}][${M}][${M}];
+double wrk2[${M}][${M}][${M}];
+
+void jacobi() {
+  int i;
+  int j;
+  int k;
+  for (i = 1; i < ${M} - 1; i = i + 1) {
+    for (j = 1; j < ${M} - 1; j = j + 1) {
+      for (k = 1; k < ${M} - 1; k = k + 1) {
+        double s0 = a0[i][j][k] * (p[i + 1][j][k] + p[i - 1][j][k] + p[i][j + 1][k]
+                                   + p[i][j - 1][k] + p[i][j][k + 1] + p[i][j][k - 1])
+                  + wrk1[i][j][k];
+        double ss = (s0 * 0.166666 - p[i][j][k]) * bnd[i][j][k] * 0.8;
+        wrk2[i][j][k] = p[i][j][k] + ss;
+      }
+    }
+  }
+  for (i = 1; i < ${M} - 1; i = i + 1) {
+    for (j = 1; j < ${M} - 1; j = j + 1) {
+      for (k = 1; k < ${M} - 1; k = k + 1) {
+        p[i][j][k] = wrk2[i][j][k];
+      }
+    }
+  }
+}
+
+int main() {
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < ${M}; i = i + 1) {
+    for (j = 0; j < ${M}; j = j + 1) {
+      for (k = 0; k < ${M}; k = k + 1) {
+        p[i][j][k] = (i * i + j * j + k * k) * 0.01;
+        a0[i][j][k] = 1.0;
+        bnd[i][j][k] = 1.0;
+        wrk1[i][j][k] = 0.001 * (i + j + k);
+        wrk2[i][j][k] = 0.0;
+      }
+    }
+  }
+  //@mcl-begin
+  for (int n = 0; n < ${NN}; n = n + 1) {
+    jacobi();
+  }
+  //@mcl-end
+  double cs = 0.0;
+  for (i = 0; i < ${M}; i = i + 1) {
+    for (j = 0; j < ${M}; j = j + 1) {
+      for (k = 0; k < ${M}; k = k + 1) {
+        cs = cs + p[i][j][k] * (i + 2 * j + 3 * k + 1);
+      }
+    }
+  }
+  print_float(cs);
+  return 0;
+}
+)";
+  return app;
+}
+
+}  // namespace ac::apps

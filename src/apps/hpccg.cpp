@@ -1,0 +1,113 @@
+#include "apps/app.hpp"
+
+namespace ac::apps {
+
+// HPCCG: conjugate gradient with accumulated phase timers. Matches the
+// paper's verdict: the CG state vectors r/x/p, the scalar rtrans and the
+// timers t1/t2/t3 are all read-then-overwritten across iterations (WAR);
+// k is the Index variable. alpha/beta/oldrtrans/Ap are recomputed each
+// iteration and need no checkpoint.
+App make_hpccg() {
+  App app;
+  app.name = "HPCCG";
+  app.description = "Conjugate Gradient for a 3D chimney domain";
+  app.paper_mclr = "118-146 (HPCCG.cpp)";
+  app.default_params = {{"N", "24"}, {"ITERS", "8"}};
+  app.table2_params = {{"N", "40"}, {"ITERS", "12"}};
+  app.table4_params = {{"N", "96"}, {"ITERS", "4"}};
+  app.expected = {
+      {"t1", analysis::DepType::WAR}, {"t2", analysis::DepType::WAR},
+      {"t3", analysis::DepType::WAR}, {"r", analysis::DepType::WAR},
+      {"x", analysis::DepType::WAR},  {"p", analysis::DepType::WAR},
+      {"rtrans", analysis::DepType::WAR}, {"k", analysis::DepType::Index},
+  };
+  app.source_template = R"(
+double A[${N}][${N}];
+double x[${N}];
+double b[${N}];
+double r[${N}];
+double p[${N}];
+double Ap[${N}];
+double rtrans;
+double t1;
+double t2;
+double t3;
+
+double ddot(double u[], double v[]) {
+  double s = 0.0;
+  for (int i = 0; i < ${N}; i = i + 1) {
+    s = s + u[i] * v[i];
+  }
+  return s;
+}
+
+void matvec(double y[], double v[]) {
+  for (int i = 0; i < ${N}; i = i + 1) {
+    double s = 0.0;
+    for (int j = 0; j < ${N}; j = j + 1) {
+      s = s + A[i][j] * v[j];
+    }
+    y[i] = s;
+  }
+}
+
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < ${N}; i = i + 1) {
+    for (j = 0; j < ${N}; j = j + 1) {
+      A[i][j] = 0.0;
+      if (i == j) { A[i][j] = 4.0; }
+      if (i == j + 1 || j == i + 1) { A[i][j] = -1.0; }
+    }
+    b[i] = 1.0;
+    x[i] = 0.0;
+    r[i] = b[i];
+    p[i] = r[i];
+    Ap[i] = 0.0;
+  }
+  rtrans = ddot(r, r);
+  t1 = 0.0;
+  t2 = 0.0;
+  t3 = 0.0;
+  //@mcl-begin
+  for (int k = 1; k <= ${ITERS}; k = k + 1) {
+    double ts = timer();
+    double oldrtrans = rtrans;
+    rtrans = ddot(r, r);
+    double beta = rtrans / oldrtrans;
+    for (i = 0; i < ${N}; i = i + 1) {
+      p[i] = r[i] + beta * p[i];
+    }
+    t1 = t1 + (timer() - ts);
+    double ts2 = timer();
+    matvec(Ap, p);
+    t2 = t2 + (timer() - ts2);
+    double ts3 = timer();
+    double pAp = ddot(p, Ap);
+    double alpha = rtrans / pAp;
+    for (i = 0; i < ${N}; i = i + 1) {
+      x[i] = x[i] + alpha * p[i];
+    }
+    for (i = 0; i < ${N}; i = i + 1) {
+      r[i] = r[i] - alpha * Ap[i];
+    }
+    t3 = t3 + (timer() - ts3);
+  }
+  //@mcl-end
+  double cs = 0.0;
+  for (int m = 0; m < ${N}; m = m + 1) {
+    cs = cs + x[m] * (m + 1);
+  }
+  print_float(cs);
+  print_float(sqrt(rtrans));
+  print_float(t1);
+  print_float(t2);
+  print_float(t3);
+  return 0;
+}
+)";
+  return app;
+}
+
+}  // namespace ac::apps

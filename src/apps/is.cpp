@@ -1,0 +1,93 @@
+#include "apps/app.hpp"
+
+namespace ac::apps {
+
+// IS (NPB): integer sort ranking. Each iteration replaces two keys (a
+// partial overwrite of key_array) and incrementally maintains bucket_ptrs;
+// the partial-verification read of a key modified by an *earlier* iteration,
+// after this iteration's writes, is exactly Read-After-Partially-Overwritten
+// -> key_array and bucket_ptrs are RAPO. passed_verification accumulates
+// (WAR); `iteration` is the Index variable.
+App make_is() {
+  App app;
+  app.name = "IS";
+  app.description = "Integer Sort, random memory access (NPB)";
+  app.paper_mclr = "787-791 (is.c)";
+  app.default_params = {{"SIZE", "64"}, {"NB", "8"}, {"BSIZE", "8"}, {"MAXKEY", "64"},
+                        {"HALF", "32"}, {"NITER", "6"}};
+  app.table2_params = {{"SIZE", "256"}, {"NB", "16"}, {"BSIZE", "16"}, {"MAXKEY", "256"},
+                       {"HALF", "128"}, {"NITER", "10"}};
+  app.table4_params = {{"SIZE", "4096"}, {"NB", "64"}, {"BSIZE", "64"}, {"MAXKEY", "4096"},
+                       {"HALF", "2048"}, {"NITER", "4"}};
+  app.expected = {
+      {"passed_verification", analysis::DepType::WAR},
+      {"key_array", analysis::DepType::RAPO},
+      {"bucket_ptrs", analysis::DepType::RAPO},
+      {"iteration", analysis::DepType::Index},
+  };
+  app.source_template = R"(
+int key_array[${SIZE}];
+int bucket_ptrs[${NB}];
+int passed_verification;
+
+int main() {
+  int seed = 12345;
+  for (int i = 0; i < ${SIZE}; i = i + 1) {
+    seed = (seed * 69069 + 12345) % 2147483647;
+    if (seed < 0) { seed = 0 - seed; }
+    key_array[i] = seed % ${MAXKEY};
+  }
+  for (int b = 0; b < ${NB}; b = b + 1) {
+    bucket_ptrs[b] = 0;
+  }
+  for (int i = 0; i < ${SIZE}; i = i + 1) {
+    bucket_ptrs[key_array[i] / ${BSIZE}] = bucket_ptrs[key_array[i] / ${BSIZE}] + 1;
+  }
+  passed_verification = 0;
+  //@mcl-begin
+  for (int iteration = 1; iteration <= ${NITER}; iteration = iteration + 1) {
+    int i1 = iteration;
+    int i2 = iteration + ${HALF};
+    int old1 = key_array[i1];
+    int old2 = key_array[i2];
+    bucket_ptrs[old1 / ${BSIZE}] = bucket_ptrs[old1 / ${BSIZE}] - 1;
+    bucket_ptrs[old2 / ${BSIZE}] = bucket_ptrs[old2 / ${BSIZE}] - 1;
+    key_array[i1] = (iteration * 7 + 3) % ${MAXKEY};
+    key_array[i2] = (${MAXKEY} - iteration * 5 + 1000 * ${MAXKEY}) % ${MAXKEY};
+    bucket_ptrs[key_array[i1] / ${BSIZE}] = bucket_ptrs[key_array[i1] / ${BSIZE}] + 1;
+    bucket_ptrs[key_array[i2] / ${BSIZE}] = bucket_ptrs[key_array[i2] / ${BSIZE}] + 1;
+    if (iteration > 1) {
+      int prev = key_array[i1 - 1];
+      int pb = bucket_ptrs[prev / ${BSIZE}];
+      int expect = ((iteration - 1) * 7 + 3) % ${MAXKEY};
+      if (prev == expect && pb > 0) {
+        passed_verification = passed_verification + 1;
+      }
+    }
+    int maxb = 0;
+    for (int b = 0; b < ${NB}; b = b + 1) {
+      if (bucket_ptrs[b] > maxb) { maxb = bucket_ptrs[b]; }
+    }
+    if (maxb > 0) {
+      passed_verification = passed_verification + 1;
+    }
+  }
+  //@mcl-end
+  print_int(passed_verification);
+  int cs = 0;
+  for (int m = 0; m < ${SIZE}; m = m + 1) {
+    cs = cs + key_array[m] * (m % 13 + 1);
+  }
+  print_int(cs);
+  int cb = 0;
+  for (int m = 0; m < ${NB}; m = m + 1) {
+    cb = cb + bucket_ptrs[m] * (m + 1);
+  }
+  print_int(cb);
+  return 0;
+}
+)";
+  return app;
+}
+
+}  // namespace ac::apps

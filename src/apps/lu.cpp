@@ -1,0 +1,120 @@
+#include "apps/app.hpp"
+
+namespace ac::apps {
+
+// LU (NPB): SSOR pseudo-time stepping. The residual rsd is *relaxed* (not
+// recomputed) each step, so its previous value is consumed before the
+// overwrite; the auxiliary fields rho_i and qs from the previous step feed
+// the new residual before being recomputed at the end of the step; u is
+// updated in place. All four are WAR, istep is Index — exactly the paper's
+// verdict for LU.
+App make_lu() {
+  App app;
+  app.name = "LU";
+  app.description = "Lower-Upper Gauss-Seidel solver (NPB)";
+  app.paper_mclr = "115-267 (ssor.c)";
+  app.default_params = {{"M", "10"}, {"NS", "6"}};
+  app.table2_params = {{"M", "16"}, {"NS", "10"}};
+  app.table4_params = {{"M", "32"}, {"NS", "4"}};
+  app.expected = {
+      {"u", analysis::DepType::WAR},
+      {"rho_i", analysis::DepType::WAR},
+      {"qs", analysis::DepType::WAR},
+      {"rsd", analysis::DepType::WAR},
+      {"istep", analysis::DepType::Index},
+  };
+  app.source_template = R"(
+double u[${M}][${M}];
+double rsd[${M}][${M}];
+double rho_i[${M}][${M}];
+double qs[${M}][${M}];
+
+void relax_rsd() {
+  int i;
+  int j;
+  for (i = 1; i < ${M} - 1; i = i + 1) {
+    for (j = 1; j < ${M} - 1; j = j + 1) {
+      rsd[i][j] = 0.6 * rsd[i][j]
+                + 0.1 * (u[i + 1][j] + u[i - 1][j] + u[i][j + 1] + u[i][j - 1]
+                         - 4.0 * u[i][j])
+                + 0.05 * rho_i[i][j] - 0.02 * qs[i][j];
+    }
+  }
+}
+
+void blts() {
+  int i;
+  int j;
+  for (i = 2; i < ${M} - 1; i = i + 1) {
+    for (j = 1; j < ${M} - 1; j = j + 1) {
+      rsd[i][j] = rsd[i][j] + 0.2 * rsd[i - 1][j];
+    }
+  }
+}
+
+void buts() {
+  int i;
+  int j;
+  for (i = ${M} - 3; i >= 1; i = i - 1) {
+    for (j = 1; j < ${M} - 1; j = j + 1) {
+      rsd[i][j] = rsd[i][j] + 0.2 * rsd[i + 1][j];
+    }
+  }
+}
+
+void update_u() {
+  int i;
+  int j;
+  for (i = 1; i < ${M} - 1; i = i + 1) {
+    for (j = 1; j < ${M} - 1; j = j + 1) {
+      u[i][j] = u[i][j] + 0.3 * rsd[i][j];
+    }
+  }
+}
+
+void recompute_aux() {
+  int i;
+  int j;
+  for (i = 1; i < ${M} - 1; i = i + 1) {
+    for (j = 1; j < ${M} - 1; j = j + 1) {
+      rho_i[i][j] = 1.0 / (1.0 + u[i][j] * u[i][j]);
+      qs[i][j] = u[i][j] * rho_i[i][j];
+    }
+  }
+}
+
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < ${M}; i = i + 1) {
+    for (j = 0; j < ${M}; j = j + 1) {
+      u[i][j] = 0.05 * ((i + j) % 4);
+      rsd[i][j] = 0.01;
+      rho_i[i][j] = 1.0;
+      qs[i][j] = 0.0;
+    }
+  }
+  //@mcl-begin
+  for (int istep = 1; istep <= ${NS}; istep = istep + 1) {
+    relax_rsd();
+    blts();
+    buts();
+    update_u();
+    recompute_aux();
+  }
+  //@mcl-end
+  double cs = 0.0;
+  for (int a = 0; a < ${M}; a = a + 1) {
+    for (int b = 0; b < ${M}; b = b + 1) {
+      cs = cs + u[a][b] * (a + 1) + rsd[a][b] * (b + 1)
+         + rho_i[a][b] * 0.5 + qs[a][b] * 0.25;
+    }
+  }
+  print_float(cs);
+  return 0;
+}
+)";
+  return app;
+}
+
+}  // namespace ac::apps

@@ -1,0 +1,78 @@
+#include "apps/app.hpp"
+
+namespace ac::apps {
+
+// MG (NPB): multigrid-style smoother/residual alternation. Each iteration
+// first applies the correction u += c*r using the residual carried from the
+// previous iteration (stale read -> r is WAR), updating u in place (u WAR),
+// then recomputes r = v - A u. v is read-only; `it` is the Index variable.
+App make_mg() {
+  App app;
+  app.name = "MG";
+  app.description = "Multi-Grid on a sequence of meshes (NPB)";
+  app.paper_mclr = "259-269 (mg.c)";
+  app.default_params = {{"M", "10"}, {"NITER", "6"}};
+  app.table2_params = {{"M", "18"}, {"NITER", "10"}};
+  app.table4_params = {{"M", "40"}, {"NITER", "4"}};
+  app.expected = {{"u", analysis::DepType::WAR},
+                  {"r", analysis::DepType::WAR},
+                  {"it", analysis::DepType::Index}};
+  app.source_template = R"(
+double u[${M}][${M}];
+double r[${M}][${M}];
+double v[${M}][${M}];
+
+void psinv() {
+  int i;
+  int j;
+  for (i = 1; i < ${M} - 1; i = i + 1) {
+    for (j = 1; j < ${M} - 1; j = j + 1) {
+      u[i][j] = u[i][j] + 0.4 * r[i][j];
+    }
+  }
+}
+
+void resid() {
+  int i;
+  int j;
+  for (i = 1; i < ${M} - 1; i = i + 1) {
+    for (j = 1; j < ${M} - 1; j = j + 1) {
+      r[i][j] = v[i][j]
+              - (4.0 * u[i][j] - u[i - 1][j] - u[i + 1][j] - u[i][j - 1] - u[i][j + 1]);
+    }
+  }
+}
+
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < ${M}; i = i + 1) {
+    for (j = 0; j < ${M}; j = j + 1) {
+      u[i][j] = 0.0;
+      v[i][j] = 0.0;
+      r[i][j] = 0.0;
+    }
+  }
+  v[${M} / 2][${M} / 2] = 1.0;
+  v[${M} / 3][${M} / 4] = -1.0;
+  resid();
+  //@mcl-begin
+  for (int it = 1; it <= ${NITER}; it = it + 1) {
+    psinv();
+    resid();
+  }
+  //@mcl-end
+  double cs = 0.0;
+  for (int a = 0; a < ${M}; a = a + 1) {
+    for (int b = 0; b < ${M}; b = b + 1) {
+      cs = cs + u[a][b] * (a + 1) * (b + 2) + r[a][b] * (a + 3);
+    }
+  }
+  print_float(cs);
+  return 0;
+}
+)";
+  return app;
+}
+
+}  // namespace ac::apps

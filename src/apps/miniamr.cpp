@@ -1,0 +1,176 @@
+#include "apps/app.hpp"
+
+namespace ac::apps {
+
+// miniAMR (ECP): 3D stencil with adaptive-refinement bookkeeping. The
+// driver's large family of accumulating counters and timers all carry state
+// across timesteps (WAR), the block payload itself is a carried stencil
+// field (WAR), and the loop is controlled by the pair done/ts (Index), as in
+// the paper's Table II. The paper's "29 timers" are modelled as the
+// timers[29] array.
+App make_miniamr() {
+  App app;
+  app.name = "miniAMR";
+  app.description = "3D stencil with Adaptive Mesh Refinement bookkeeping (ECP)";
+  app.paper_mclr = "67-160 (driver.c)";
+  app.default_params = {{"NB", "6"}, {"CELLS", "16"}, {"NS", "6"}};
+  app.table2_params = {{"NB", "10"}, {"CELLS", "32"}, {"NS", "9"}};
+  app.table4_params = {{"NB", "16"}, {"CELLS", "64"}, {"NS", "3"}};
+  app.expected = {
+      {"timers", analysis::DepType::WAR},
+      {"counter_bc", analysis::DepType::WAR},
+      {"total_fp_adds", analysis::DepType::WAR},
+      {"total_blocks", analysis::DepType::WAR},
+      {"total_fp_divs", analysis::DepType::WAR},
+      {"total_red", analysis::DepType::WAR},
+      {"nrs", analysis::DepType::WAR},
+      {"nrrs", analysis::DepType::WAR},
+      {"num_moved_coarsen", analysis::DepType::WAR},
+      {"num_moved_rs", analysis::DepType::WAR},
+      {"num_comm_uniq", analysis::DepType::WAR},
+      {"num_comm_tot", analysis::DepType::WAR},
+      {"num_comm_z", analysis::DepType::WAR},
+      {"num_comm_y", analysis::DepType::WAR},
+      {"tmax", analysis::DepType::WAR},
+      {"tmin", analysis::DepType::WAR},
+      {"global_active", analysis::DepType::WAR},
+      {"num_comm_x", analysis::DepType::WAR},
+      {"blocks", analysis::DepType::WAR},
+      {"done", analysis::DepType::Index},
+      {"ts", analysis::DepType::Index},
+  };
+  app.source_template = R"(
+double timers[29];
+double blocks[${NB}][${CELLS}];
+int total_blocks;
+int nrs;
+int nrrs;
+int num_moved_coarsen;
+int num_moved_rs;
+int num_comm_uniq;
+int num_comm_tot;
+int num_comm_x;
+int num_comm_y;
+int num_comm_z;
+int counter_bc;
+double total_fp_adds;
+double total_fp_divs;
+double total_red;
+double tmax;
+double tmin;
+int global_active;
+int done;
+int ts;
+
+void stencil_step() {
+  int b;
+  int c;
+  for (b = 0; b < ${NB}; b = b + 1) {
+    for (c = 0; c < ${CELLS}; c = c + 1) {
+      blocks[b][c] = blocks[b][c] * 0.98 + 0.01 * blocks[b][(c + 1) % ${CELLS}]
+                   + 0.01 * blocks[(b + 1) % ${NB}][c];
+    }
+  }
+}
+
+int main() {
+  int seed = 7;
+  for (int b = 0; b < ${NB}; b = b + 1) {
+    for (int c = 0; c < ${CELLS}; c = c + 1) {
+      seed = (seed * 69069 + 12345) % 2147483647;
+      if (seed < 0) { seed = 0 - seed; }
+      blocks[b][c] = (seed % 100) * 0.01;
+    }
+  }
+  for (int t = 0; t < 29; t = t + 1) {
+    timers[t] = 0.0;
+  }
+  total_blocks = 0;
+  nrs = 0;
+  nrrs = 0;
+  num_moved_coarsen = 0;
+  num_moved_rs = 0;
+  num_comm_uniq = 0;
+  num_comm_tot = 0;
+  num_comm_x = 0;
+  num_comm_y = 0;
+  num_comm_z = 0;
+  counter_bc = 0;
+  total_fp_adds = 0.0;
+  total_fp_divs = 0.0;
+  total_red = 0.0;
+  tmax = 0.0;
+  tmin = 1000000.0;
+  global_active = 0;
+  done = 0;
+  ts = 0;
+  //@mcl-begin
+  for (ts = 1; done == 0 && ts <= ${NS} + 5; ts = ts + 1) {
+    double t0 = timer();
+    stencil_step();
+    int extra = 2;
+    if (ts == 2) { extra = 5; }
+    if (ts == 3) { extra = 0; }
+    for (int e = 0; e < extra; e = e + 1) {
+      double w = timer();
+      total_red = total_red + (w - t0) * 0.01;
+    }
+    counter_bc = counter_bc + 2 * ${NB};
+    total_fp_adds = total_fp_adds + 4.0 * ${NB} * ${CELLS};
+    total_fp_divs = total_fp_divs + 1.0 * ${NB};
+    num_comm_x = num_comm_x + ${NB};
+    num_comm_y = num_comm_y + 2 * ${NB};
+    num_comm_z = num_comm_z + 3 * ${NB};
+    num_comm_tot = num_comm_tot + 6 * ${NB};
+    num_comm_uniq = num_comm_uniq + ${NB} / 2;
+    if (ts % 2 == 0) {
+      num_moved_coarsen = num_moved_coarsen + 1;
+      nrs = nrs + 1;
+    } else {
+      num_moved_rs = num_moved_rs + 1;
+      nrrs = nrrs + 1;
+    }
+    total_blocks = total_blocks + ${NB};
+    global_active = global_active + ${NB};
+    total_red = total_red + blocks[0][0];
+    double dt = timer() - t0;
+    for (int t = 0; t < 29; t = t + 1) {
+      timers[t] = timers[t] + dt * (t + 1) * 0.01;
+    }
+    if (dt > tmax) { tmax = tmax + (dt - tmax); }
+    if (dt < tmin) { tmin = tmin + (dt - tmin); }
+    done = 0;
+    if (ts >= ${NS}) { done = 1; }
+  }
+  //@mcl-end
+  print_int(total_blocks);
+  print_int(nrs + nrrs * 10);
+  print_int(num_moved_coarsen + num_moved_rs * 10);
+  print_int(num_comm_uniq + num_comm_tot);
+  print_int(num_comm_x + num_comm_y * 2 + num_comm_z * 3);
+  print_int(counter_bc);
+  print_int(global_active);
+  print_float(total_fp_adds);
+  print_float(total_fp_divs);
+  print_float(total_red);
+  print_float(tmax);
+  print_float(tmin);
+  double ct = 0.0;
+  for (int t = 0; t < 29; t = t + 1) {
+    ct = ct + timers[t] * (t + 1);
+  }
+  print_float(ct);
+  double cb = 0.0;
+  for (int b = 0; b < ${NB}; b = b + 1) {
+    for (int c = 0; c < ${CELLS}; c = c + 1) {
+      cb = cb + blocks[b][c] * (b + c + 1);
+    }
+  }
+  print_float(cb);
+  return 0;
+}
+)";
+  return app;
+}
+
+}  // namespace ac::apps

@@ -1,0 +1,43 @@
+#include "apps/app.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace ac::apps {
+
+std::string App::source(const Params& params) const {
+  Params merged = params;
+  // Fall back to defaults for knobs the caller did not override.
+  for (const auto& kv : default_params) {
+    bool present = false;
+    for (const auto& given : merged) present = present || given.first == kv.first;
+    if (!present) merged.push_back(kv);
+  }
+  return substitute(source_template, merged);
+}
+
+analysis::MclRegion App::mcl() const { return analysis::find_mcl_region(source_template); }
+
+std::vector<std::string> App::expected_names() const {
+  std::vector<std::string> out;
+  for (const auto& e : expected) out.push_back(e.name);
+  return out;
+}
+
+const std::vector<App>& registry() {
+  static const std::vector<App> apps = {
+      make_himeno(), make_hpccg(), make_cg(), make_mg(), make_ft(),
+      make_sp(), make_ep(), make_is(), make_bt(), make_lu(),
+      make_comd(), make_miniamr(), make_amg(), make_hacc(),
+  };
+  return apps;
+}
+
+const App& find_app(const std::string& name) {
+  for (const App& app : registry()) {
+    if (app.name == name) return app;
+  }
+  throw Error("unknown benchmark: " + name);
+}
+
+}  // namespace ac::apps

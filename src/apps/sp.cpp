@@ -1,0 +1,94 @@
+#include "apps/app.hpp"
+
+namespace ac::apps {
+
+// SP (NPB): ADI-style scalar penta-diagonal solver skeleton. Each step
+// computes the right-hand side from the carried field u (stale read), sweeps
+// it along both axes (fresh reads), and adds it back into u (stale read +
+// refresh) -> u is WAR; rhs is fully recomputed (safe); step is Index.
+App make_sp() {
+  App app;
+  app.name = "SP";
+  app.description = "Scalar Penta-diagonal solver (NPB)";
+  app.paper_mclr = "184-190 (sp.c)";
+  app.default_params = {{"M", "10"}, {"NS", "6"}};
+  app.table2_params = {{"M", "16"}, {"NS", "10"}};
+  app.table4_params = {{"M", "48"}, {"NS", "4"}};
+  app.expected = {{"u", analysis::DepType::WAR}, {"step", analysis::DepType::Index}};
+  app.source_template = R"(
+double u[${M}][${M}];
+double rhs[${M}][${M}];
+
+void compute_rhs() {
+  int i;
+  int j;
+  for (i = 2; i < ${M} - 2; i = i + 1) {
+    for (j = 2; j < ${M} - 2; j = j + 1) {
+      rhs[i][j] = 0.2 * (u[i + 1][j] + u[i - 1][j] + u[i][j + 1] + u[i][j - 1]
+                         - 4.0 * u[i][j])
+                + 0.001 * (i + j);
+    }
+  }
+}
+
+void x_solve() {
+  int i;
+  int j;
+  for (i = 4; i < ${M} - 2; i = i + 1) {
+    for (j = 2; j < ${M} - 2; j = j + 1) {
+      rhs[i][j] = rhs[i][j] - 0.2 * rhs[i - 1][j] - 0.05 * rhs[i - 2][j];
+    }
+  }
+}
+
+void y_solve() {
+  int i;
+  int j;
+  for (i = 2; i < ${M} - 2; i = i + 1) {
+    for (j = 4; j < ${M} - 2; j = j + 1) {
+      rhs[i][j] = rhs[i][j] - 0.2 * rhs[i][j - 1] - 0.05 * rhs[i][j - 2];
+    }
+  }
+}
+
+void add() {
+  int i;
+  int j;
+  for (i = 2; i < ${M} - 2; i = i + 1) {
+    for (j = 2; j < ${M} - 2; j = j + 1) {
+      u[i][j] = u[i][j] + rhs[i][j];
+    }
+  }
+}
+
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < ${M}; i = i + 1) {
+    for (j = 0; j < ${M}; j = j + 1) {
+      u[i][j] = 0.01 * (i * j % 7);
+      rhs[i][j] = 0.0;
+    }
+  }
+  //@mcl-begin
+  for (int step = 1; step <= ${NS}; step = step + 1) {
+    compute_rhs();
+    x_solve();
+    y_solve();
+    add();
+  }
+  //@mcl-end
+  double cs = 0.0;
+  for (int a = 0; a < ${M}; a = a + 1) {
+    for (int b = 0; b < ${M}; b = b + 1) {
+      cs = cs + u[a][b] * (a + 2 * b + 1);
+    }
+  }
+  print_float(cs);
+  return 0;
+}
+)";
+  return app;
+}
+
+}  // namespace ac::apps

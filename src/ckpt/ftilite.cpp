@@ -1,0 +1,66 @@
+#include "ckpt/ftilite.hpp"
+
+#include <cstdio>
+#include <sys/stat.h>
+
+#include "support/error.hpp"
+
+namespace ac::ckpt {
+
+namespace {
+
+std::uint64_t file_size_or_zero(const std::string& path) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+}  // namespace
+
+FtiLite::FtiLite(std::string dir, std::string tag)
+    : path_(dir + "/" + tag + ".fti"), tmp_path_(dir + "/" + tag + ".fti.tmp") {}
+
+FtiLite::FtiLite(std::string dir, std::string partner_dir, std::string tag)
+    : path_(dir + "/" + tag + ".fti"),
+      tmp_path_(dir + "/" + tag + ".fti.tmp"),
+      partner_path_(partner_dir + "/" + tag + ".fti.partner") {}
+
+void FtiLite::checkpoint(const CheckpointImage& img) {
+  img.save(tmp_path_);
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    throw CheckpointError("cannot commit checkpoint: " + path_);
+  }
+  if (!partner_path_.empty()) img.save(partner_path_);
+}
+
+bool FtiLite::has_checkpoint() const {
+  struct stat st {};
+  return ::stat(path_.c_str(), &st) == 0 ||
+         (!partner_path_.empty() && ::stat(partner_path_.c_str(), &st) == 0);
+}
+
+CheckpointImage FtiLite::recover() const {
+  if (!has_checkpoint()) throw CheckpointError("no checkpoint to recover: " + path_);
+  try {
+    return CheckpointImage::load(path_);
+  } catch (const CheckpointError&) {
+    // L2 fallback: local copy lost or corrupt; use the partner replica.
+    if (partner_path_.empty()) throw;
+    return CheckpointImage::load(partner_path_);
+  }
+}
+
+std::uint64_t FtiLite::storage_bytes() const { return file_size_or_zero(path_); }
+
+std::uint64_t FtiLite::total_bytes() const {
+  return file_size_or_zero(path_) +
+         (partner_path_.empty() ? 0 : file_size_or_zero(partner_path_));
+}
+
+void FtiLite::reset() {
+  std::remove(path_.c_str());
+  std::remove(tmp_path_.c_str());
+  if (!partner_path_.empty()) std::remove(partner_path_.c_str());
+}
+
+}  // namespace ac::ckpt

@@ -1,0 +1,63 @@
+// FtiLite: an FTI-style application-level checkpoint store (paper §VI-A uses
+// FTI's L1 mode — local checkpoint files — to validate AutoCheck's variable
+// selection; this is our equivalent).
+//
+// Protocol:
+//   writer side (during the run): checkpoint(image) each loop iteration —
+//     the file is double-buffered (write to .tmp, then rename) so a failure
+//     mid-write never destroys the last good checkpoint, mirroring FTI;
+//   reader side (on restart): has_checkpoint() / recover().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ckpt/image.hpp"
+
+namespace ac::ckpt {
+
+/// Reliability level, mirroring FTI's hierarchy:
+///   L1 — one local checkpoint file (the paper's validation mode);
+///   L2 — L1 plus a partner copy in a second directory, consulted when the
+///        local file is lost or fails its CRC (FTI's "local storage and data
+///        replication").
+enum class Level { L1, L2 };
+
+class FtiLite {
+ public:
+  /// L1: checkpoint files live under `dir` with `tag` as the stem.
+  FtiLite(std::string dir, std::string tag);
+
+  /// L2: additionally replicate into `partner_dir`.
+  FtiLite(std::string dir, std::string partner_dir, std::string tag);
+
+  Level level() const { return partner_path_.empty() ? Level::L1 : Level::L2; }
+
+  /// Persist `img` as the latest checkpoint (atomic replace; the partner
+  /// copy, when configured, is written after the local commit).
+  void checkpoint(const CheckpointImage& img);
+
+  bool has_checkpoint() const;
+
+  /// Load + CRC-verify the latest checkpoint; at L2, falls back to the
+  /// partner copy when the local file is missing or corrupt.
+  CheckpointImage recover() const;
+
+  /// Storage footprint of the latest local checkpoint file in bytes
+  /// (Table IV); level L2 doubles the physical footprint (see total_bytes).
+  std::uint64_t storage_bytes() const;
+  std::uint64_t total_bytes() const;
+
+  /// Remove any checkpoint files for this tag (fresh experiment).
+  void reset();
+
+  const std::string& path() const { return path_; }
+  const std::string& partner_path() const { return partner_path_; }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::string partner_path_;
+};
+
+}  // namespace ac::ckpt

@@ -1,0 +1,65 @@
+// Checkpoint image: an ordered set of named variable snapshots.
+//
+// This is the unit both C/R substrates exchange with the VM:
+//  * FtiLite persists images of the AutoCheck-identified variables
+//    (application-level checkpointing, as the paper does with FTI L1);
+//  * BlcrSim persists an image of the whole machine (system-level
+//    checkpointing, the Table IV baseline).
+//
+// Each 8-byte cell carries its ValueKind tag so restored doubles/pointers
+// keep their kind. The on-disk format is little-endian with a trailing CRC32
+// (FTI-style integrity check).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ac::ckpt {
+
+struct Cell {
+  std::uint64_t payload = 0;
+  std::uint8_t kind = 0;  // trace::ValueKind numeric value
+
+  bool operator==(const Cell&) const = default;
+};
+
+struct VarSnapshot {
+  std::string name;
+  std::vector<Cell> cells;
+
+  bool operator==(const VarSnapshot&) const = default;
+};
+
+class CheckpointImage {
+ public:
+  void add(std::string name, std::vector<Cell> cells);
+
+  const std::vector<VarSnapshot>& vars() const { return vars_; }
+  const VarSnapshot* find(const std::string& name) const;
+  bool empty() const { return vars_.empty(); }
+
+  /// Metadata: which loop iteration this snapshot closed.
+  void set_iteration(std::int64_t it) { iteration_ = it; }
+  std::int64_t iteration() const { return iteration_; }
+
+  /// Payload bytes (the AutoCheck storage-cost figure of Table IV):
+  /// 8 data bytes + 1 kind byte per cell plus per-variable name records.
+  std::uint64_t byte_size() const;
+
+  /// Serialize with header + CRC32; throws ac::CheckpointError on I/O error.
+  void save(const std::string& path) const;
+
+  /// Load and verify; throws ac::CheckpointError on missing file, bad magic,
+  /// truncation, or CRC mismatch.
+  static CheckpointImage load(const std::string& path);
+
+  bool operator==(const CheckpointImage&) const = default;
+
+ private:
+  std::vector<VarSnapshot> vars_;
+  std::int64_t iteration_ = -1;
+};
+
+}  // namespace ac::ckpt

@@ -1,0 +1,132 @@
+// MiniC abstract syntax tree.
+//
+// The language is the C subset needed to port the paper's 14 HPC benchmarks
+// faithfully at the dataflow level: int/double scalars, fixed-size
+// multi-dimensional arrays, 1-D pointer parameters, functions, for/while/if,
+// the usual arithmetic/relational/logical operators and compound assignment.
+// See docs/minic.md for the full grammar and semantics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ac::minic {
+
+enum class Ty : std::uint8_t { Int, Double, Void };
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  IntLit, FloatLit, VarRef, Index, Unary, Binary, Assign, Call,
+};
+
+enum class UnOp : std::uint8_t { Neg, Not };
+
+enum class BinaryOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  EQ, NE, LT, LE, GT, GE,
+  And, Or,
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // IntLit / FloatLit
+  std::int64_t int_val = 0;
+  double float_val = 0.0;
+
+  // VarRef / Index base / Call target
+  std::string name;
+
+  // Index: one expr per subscript; Call: arguments.
+  std::vector<std::unique_ptr<Expr>> args;
+
+  // Unary / Binary / Assign
+  UnOp un = UnOp::Neg;
+  BinaryOp bin = BinaryOp::Add;
+  std::unique_ptr<Expr> lhs;  // Assign target (VarRef or Index) / binary lhs / unary operand
+  std::unique_ptr<Expr> rhs;
+
+  explicit Expr(ExprKind k, int ln) : kind(k), line(ln) {}
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  Decl, ExprStmt, Block, If, While, For, Return, Break, Continue, Empty,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  // Decl
+  Ty decl_type = Ty::Int;
+  std::string name;
+  std::vector<std::int64_t> dims;  // array dims, empty for scalar
+  ExprPtr init;                    // optional scalar initializer
+
+  // ExprStmt / If cond / While cond / For cond / Return value
+  ExprPtr expr;
+
+  // Block / bodies
+  std::vector<StmtPtr> body;
+
+  // If
+  StmtPtr then_branch;
+  StmtPtr else_branch;
+
+  // While / For body
+  StmtPtr loop_body;
+
+  // For init/step (either may be null)
+  StmtPtr for_init;   // Decl or ExprStmt
+  ExprPtr for_step;   // expression (e.g. desugared it = it + 1)
+
+  explicit Stmt(StmtKind k, int ln) : kind(k), line(ln) {}
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+struct ParamDecl {
+  Ty type = Ty::Int;
+  std::string name;
+  bool is_array = false;  // `T name[]`: pointer parameter
+  int line = 0;
+};
+
+struct FuncDecl {
+  Ty return_type = Ty::Void;
+  std::string name;
+  std::vector<ParamDecl> params;
+  StmtPtr body;  // Block
+  int line = 0;
+};
+
+struct GlobalDecl {
+  Ty type = Ty::Int;
+  std::string name;
+  std::vector<std::int64_t> dims;
+  int line = 0;
+};
+
+struct Program {
+  std::vector<GlobalDecl> globals;
+  std::vector<FuncDecl> functions;
+};
+
+}  // namespace ac::minic

@@ -1,0 +1,15 @@
+#include "minic/compiler.hpp"
+
+#include "minic/codegen.hpp"
+#include "minic/parser.hpp"
+
+namespace ac::minic {
+
+ir::Module compile(const std::string& source) {
+  Program prog = parse(source);
+  ir::Module mod = codegen(prog);
+  ir::verify_module(mod);
+  return mod;
+}
+
+}  // namespace ac::minic

@@ -1,0 +1,14 @@
+// Compiler facade: MiniC source text -> verified mini-IR module.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace ac::minic {
+
+/// Lex + parse + lower + verify. Throws ac::CompileError (diagnostics) or
+/// ac::Error (verifier findings, which indicate frontend bugs).
+ir::Module compile(const std::string& source);
+
+}  // namespace ac::minic

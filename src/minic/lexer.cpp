@@ -1,0 +1,248 @@
+#include "minic/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace ac::minic {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::End: return "end of input";
+    case Tok::IntLit: return "integer literal";
+    case Tok::FloatLit: return "float literal";
+    case Tok::Ident: return "identifier";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwDouble: return "'double'";
+    case Tok::KwVoid: return "'void'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwBreak: return "'break'";
+    case Tok::KwContinue: return "'continue'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Assign: return "'='";
+    case Tok::PlusAssign: return "'+='";
+    case Tok::MinusAssign: return "'-='";
+    case Tok::StarAssign: return "'*='";
+    case Tok::SlashAssign: return "'/='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::PlusPlus: return "'++'";
+    case Tok::MinusMinus: return "'--'";
+    case Tok::EQ: return "'=='";
+    case Tok::NE: return "'!='";
+    case Tok::LT: return "'<'";
+    case Tok::LE: return "'<='";
+    case Tok::GT: return "'>'";
+    case Tok::GE: return "'>='";
+    case Tok::AndAnd: return "'&&'";
+    case Tok::OrOr: return "'||'";
+    case Tok::Not: return "'!'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, Tok>& keywords() {
+  static const std::map<std::string, Tok> kw = {
+      {"int", Tok::KwInt},       {"double", Tok::KwDouble}, {"void", Tok::KwVoid},
+      {"if", Tok::KwIf},         {"else", Tok::KwElse},     {"for", Tok::KwFor},
+      {"while", Tok::KwWhile},   {"return", Tok::KwReturn}, {"break", Tok::KwBreak},
+      {"continue", Tok::KwContinue},
+  };
+  return kw;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_space_and_comments();
+      Token t = next_token();
+      const bool at_end = t.kind == Tok::End;
+      out.push_back(std::move(t));
+      if (at_end) break;
+    }
+    return out;
+  }
+
+ private:
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+
+  [[noreturn]] void fail(const std::string& msg) {
+    throw CompileError(strf("line %d: %s", line_, msg.c_str()));
+  }
+
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_space_and_comments() {
+    while (pos_ < src_.size()) {
+      char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (pos_ < src_.size() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (true) {
+          if (pos_ >= src_.size()) fail("unterminated block comment");
+          if (peek() == '*' && peek(1) == '/') {
+            advance();
+            advance();
+            break;
+          }
+          advance();
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token make(Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line_;
+    t.col = col_;
+    return t;
+  }
+
+  Token next_token() {
+    if (pos_ >= src_.size()) return make(Tok::End);
+    Token t = make(Tok::End);
+    char c = peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+        ident += advance();
+      }
+      auto it = keywords().find(ident);
+      t.kind = it != keywords().end() ? it->second : Tok::Ident;
+      t.text = std::move(ident);
+      return t;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::string num;
+      bool is_float = false;
+      while (pos_ < src_.size()) {
+        char d = peek();
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          num += advance();
+        } else if (d == '.' && !is_float) {
+          is_float = true;
+          num += advance();
+        } else if ((d == 'e' || d == 'E') &&
+                   (std::isdigit(static_cast<unsigned char>(peek(1))) ||
+                    ((peek(1) == '+' || peek(1) == '-') &&
+                     std::isdigit(static_cast<unsigned char>(peek(2)))))) {
+          is_float = true;
+          num += advance();          // e
+          if (peek() == '+' || peek() == '-') num += advance();
+          while (std::isdigit(static_cast<unsigned char>(peek()))) num += advance();
+          break;
+        } else {
+          break;
+        }
+      }
+      t.text = num;
+      if (is_float) {
+        t.kind = Tok::FloatLit;
+        t.float_val = parse_f64(num);
+      } else {
+        t.kind = Tok::IntLit;
+        t.int_val = parse_i64(num);
+      }
+      return t;
+    }
+
+    advance();
+    auto two = [&](char second, Tok yes, Tok no) {
+      if (peek() == second) {
+        advance();
+        t.kind = yes;
+      } else {
+        t.kind = no;
+      }
+      return t;
+    };
+
+    switch (c) {
+      case '(': t.kind = Tok::LParen; return t;
+      case ')': t.kind = Tok::RParen; return t;
+      case '{': t.kind = Tok::LBrace; return t;
+      case '}': t.kind = Tok::RBrace; return t;
+      case '[': t.kind = Tok::LBracket; return t;
+      case ']': t.kind = Tok::RBracket; return t;
+      case ',': t.kind = Tok::Comma; return t;
+      case ';': t.kind = Tok::Semi; return t;
+      case '%': t.kind = Tok::Percent; return t;
+      case '=': return two('=', Tok::EQ, Tok::Assign);
+      case '!': return two('=', Tok::NE, Tok::Not);
+      case '<': return two('=', Tok::LE, Tok::LT);
+      case '>': return two('=', Tok::GE, Tok::GT);
+      case '+':
+        if (peek() == '+') { advance(); t.kind = Tok::PlusPlus; return t; }
+        return two('=', Tok::PlusAssign, Tok::Plus);
+      case '-':
+        if (peek() == '-') { advance(); t.kind = Tok::MinusMinus; return t; }
+        return two('=', Tok::MinusAssign, Tok::Minus);
+      case '*': return two('=', Tok::StarAssign, Tok::Star);
+      case '/': return two('=', Tok::SlashAssign, Tok::Slash);
+      case '&':
+        if (peek() == '&') { advance(); t.kind = Tok::AndAnd; return t; }
+        fail("stray '&' (MiniC has no address-of / bitwise ops)");
+      case '|':
+        if (peek() == '|') { advance(); t.kind = Tok::OrOr; return t; }
+        fail("stray '|'");
+      default:
+        fail(strf("invalid character '%c' (0x%02x)", c, static_cast<unsigned char>(c)));
+    }
+    return t;  // unreachable
+  }
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) { return Lexer(source).run(); }
+
+}  // namespace ac::minic

@@ -1,0 +1,18 @@
+// MiniC lexer: produces the full token stream for a translation unit.
+// `//` and `/* */` comments are skipped; line numbers are tracked precisely
+// because AutoCheck's main-computation-loop region is specified in source
+// lines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minic/token.hpp"
+
+namespace ac::minic {
+
+/// Tokenize `source`; throws ac::CompileError on invalid characters or
+/// unterminated comments/literals.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace ac::minic

@@ -1,0 +1,418 @@
+#include "minic/parser.hpp"
+
+#include "minic/lexer.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace ac::minic {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Program run() {
+    Program prog;
+    while (!at(Tok::End)) parse_top_level(prog);
+    return prog;
+  }
+
+ private:
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& ahead(std::size_t n) const {
+    return toks_[std::min(pos_ + n, toks_.size() - 1)];
+  }
+  bool at(Tok k) const { return cur().kind == k; }
+
+  [[noreturn]] void fail(const std::string& msg) {
+    throw CompileError(strf("line %d: %s (got %s)", cur().line, msg.c_str(), tok_name(cur().kind)));
+  }
+
+  Token eat(Tok k, const char* what) {
+    if (!at(k)) fail(strf("expected %s in %s", tok_name(k), what));
+    return toks_[pos_++];
+  }
+
+  bool accept(Tok k) {
+    if (!at(k)) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool at_type() const { return at(Tok::KwInt) || at(Tok::KwDouble); }
+
+  Ty parse_type() {
+    if (accept(Tok::KwInt)) return Ty::Int;
+    if (accept(Tok::KwDouble)) return Ty::Double;
+    fail("expected type");
+  }
+
+  // ---- top level ----------------------------------------------------------
+
+  void parse_top_level(Program& prog) {
+    if (accept(Tok::KwVoid)) {
+      parse_function(prog, Ty::Void);
+      return;
+    }
+    if (!at_type()) fail("expected declaration");
+    Ty type = parse_type();
+    // Lookahead: `T name (` is a function, otherwise a global variable.
+    if (at(Tok::Ident) && ahead(1).kind == Tok::LParen) {
+      parse_function(prog, type);
+      return;
+    }
+    GlobalDecl g;
+    g.type = type;
+    Token name = eat(Tok::Ident, "global declaration");
+    g.name = name.text;
+    g.line = name.line;
+    while (accept(Tok::LBracket)) {
+      Token dim = eat(Tok::IntLit, "array dimension");
+      if (dim.int_val <= 0) fail("array dimension must be positive");
+      g.dims.push_back(dim.int_val);
+      eat(Tok::RBracket, "array dimension");
+    }
+    eat(Tok::Semi, "global declaration");
+    prog.globals.push_back(std::move(g));
+  }
+
+  void parse_function(Program& prog, Ty ret) {
+    FuncDecl fn;
+    fn.return_type = ret;
+    Token name = eat(Tok::Ident, "function declaration");
+    fn.name = name.text;
+    fn.line = name.line;
+    eat(Tok::LParen, "parameter list");
+    if (!at(Tok::RParen)) {
+      do {
+        ParamDecl p;
+        p.type = parse_type();
+        Token pn = eat(Tok::Ident, "parameter");
+        p.name = pn.text;
+        p.line = pn.line;
+        if (accept(Tok::LBracket)) {
+          eat(Tok::RBracket, "array parameter");
+          p.is_array = true;
+        }
+        fn.params.push_back(std::move(p));
+      } while (accept(Tok::Comma));
+    }
+    eat(Tok::RParen, "parameter list");
+    fn.body = parse_block();
+    prog.functions.push_back(std::move(fn));
+  }
+
+  // ---- statements ---------------------------------------------------------
+
+  StmtPtr parse_block() {
+    Token brace = eat(Tok::LBrace, "block");
+    auto block = std::make_unique<Stmt>(StmtKind::Block, brace.line);
+    while (!at(Tok::RBrace)) {
+      if (at(Tok::End)) fail("unterminated block");
+      block->body.push_back(parse_stmt());
+    }
+    eat(Tok::RBrace, "block");
+    return block;
+  }
+
+  StmtPtr parse_stmt() {
+    if (at(Tok::LBrace)) return parse_block();
+    if (at_type()) return parse_decl();
+
+    const int line = cur().line;
+    if (accept(Tok::Semi)) return std::make_unique<Stmt>(StmtKind::Empty, line);
+
+    if (accept(Tok::KwIf)) {
+      auto s = std::make_unique<Stmt>(StmtKind::If, line);
+      eat(Tok::LParen, "if condition");
+      s->expr = parse_expr();
+      eat(Tok::RParen, "if condition");
+      s->then_branch = parse_stmt();
+      if (accept(Tok::KwElse)) s->else_branch = parse_stmt();
+      return s;
+    }
+    if (accept(Tok::KwWhile)) {
+      auto s = std::make_unique<Stmt>(StmtKind::While, line);
+      eat(Tok::LParen, "while condition");
+      s->expr = parse_expr();
+      eat(Tok::RParen, "while condition");
+      s->loop_body = parse_stmt();
+      return s;
+    }
+    if (accept(Tok::KwFor)) {
+      auto s = std::make_unique<Stmt>(StmtKind::For, line);
+      eat(Tok::LParen, "for header");
+      if (!at(Tok::Semi)) {
+        if (at_type()) {
+          s->for_init = parse_decl();  // consumes the ';'
+        } else {
+          auto init = std::make_unique<Stmt>(StmtKind::ExprStmt, cur().line);
+          init->expr = parse_expr();
+          s->for_init = std::move(init);
+          eat(Tok::Semi, "for header");
+        }
+      } else {
+        eat(Tok::Semi, "for header");
+      }
+      if (!at(Tok::Semi)) s->expr = parse_expr();
+      eat(Tok::Semi, "for header");
+      if (!at(Tok::RParen)) s->for_step = parse_expr();
+      eat(Tok::RParen, "for header");
+      s->loop_body = parse_stmt();
+      return s;
+    }
+    if (accept(Tok::KwReturn)) {
+      auto s = std::make_unique<Stmt>(StmtKind::Return, line);
+      if (!at(Tok::Semi)) s->expr = parse_expr();
+      eat(Tok::Semi, "return statement");
+      return s;
+    }
+    if (accept(Tok::KwBreak)) {
+      eat(Tok::Semi, "break statement");
+      return std::make_unique<Stmt>(StmtKind::Break, line);
+    }
+    if (accept(Tok::KwContinue)) {
+      eat(Tok::Semi, "continue statement");
+      return std::make_unique<Stmt>(StmtKind::Continue, line);
+    }
+
+    auto s = std::make_unique<Stmt>(StmtKind::ExprStmt, line);
+    s->expr = parse_expr();
+    eat(Tok::Semi, "expression statement");
+    return s;
+  }
+
+  StmtPtr parse_decl() {
+    Ty type = parse_type();
+    Token name = eat(Tok::Ident, "declaration");
+    auto s = std::make_unique<Stmt>(StmtKind::Decl, name.line);
+    s->decl_type = type;
+    s->name = name.text;
+    while (accept(Tok::LBracket)) {
+      Token dim = eat(Tok::IntLit, "array dimension");
+      if (dim.int_val <= 0) fail("array dimension must be positive");
+      s->dims.push_back(dim.int_val);
+      eat(Tok::RBracket, "array dimension");
+    }
+    if (accept(Tok::Assign)) {
+      if (!s->dims.empty()) fail("array initializers are not supported");
+      s->init = parse_expr();
+    }
+    eat(Tok::Semi, "declaration");
+    return s;
+  }
+
+  // ---- expressions --------------------------------------------------------
+
+  ExprPtr parse_expr() { return parse_assignment(); }
+
+  ExprPtr parse_assignment() {
+    ExprPtr lhs = parse_or();
+    const int line = cur().line;
+
+    auto desugar_compound = [&](BinaryOp op) {
+      // a X= b  ==>  a = a X b  (the LHS lvalue is cloned; MiniC subscripts
+      // are side-effect free by construction, so double evaluation is safe).
+      ExprPtr lhs_copy = clone_lvalue(*lhs);
+      ExprPtr rhs = parse_assignment();
+      auto bin = std::make_unique<Expr>(ExprKind::Binary, line);
+      bin->bin = op;
+      bin->lhs = std::move(lhs_copy);
+      bin->rhs = std::move(rhs);
+      auto asg = std::make_unique<Expr>(ExprKind::Assign, line);
+      asg->lhs = std::move(lhs);
+      asg->rhs = std::move(bin);
+      return asg;
+    };
+
+    if (accept(Tok::Assign)) {
+      require_lvalue(*lhs);
+      auto asg = std::make_unique<Expr>(ExprKind::Assign, line);
+      asg->lhs = std::move(lhs);
+      asg->rhs = parse_assignment();
+      return asg;
+    }
+    if (accept(Tok::PlusAssign)) { require_lvalue(*lhs); return desugar_compound(BinaryOp::Add); }
+    if (accept(Tok::MinusAssign)) { require_lvalue(*lhs); return desugar_compound(BinaryOp::Sub); }
+    if (accept(Tok::StarAssign)) { require_lvalue(*lhs); return desugar_compound(BinaryOp::Mul); }
+    if (accept(Tok::SlashAssign)) { require_lvalue(*lhs); return desugar_compound(BinaryOp::Div); }
+
+    if (at(Tok::PlusPlus) || at(Tok::MinusMinus)) {
+      // x++ / x-- desugars to x = x +/- 1 (value is the new value; MiniC only
+      // allows these as statements / for-steps, so the distinction is moot).
+      const BinaryOp op = at(Tok::PlusPlus) ? BinaryOp::Add : BinaryOp::Sub;
+      ++pos_;
+      require_lvalue(*lhs);
+      ExprPtr lhs_copy = clone_lvalue(*lhs);
+      auto one = std::make_unique<Expr>(ExprKind::IntLit, line);
+      one->int_val = 1;
+      auto bin = std::make_unique<Expr>(ExprKind::Binary, line);
+      bin->bin = op;
+      bin->lhs = std::move(lhs_copy);
+      bin->rhs = std::move(one);
+      auto asg = std::make_unique<Expr>(ExprKind::Assign, line);
+      asg->lhs = std::move(lhs);
+      asg->rhs = std::move(bin);
+      return asg;
+    }
+
+    return lhs;
+  }
+
+  void require_lvalue(const Expr& e) {
+    if (e.kind != ExprKind::VarRef && e.kind != ExprKind::Index) {
+      fail("assignment target must be a variable or array element");
+    }
+  }
+
+  ExprPtr clone_lvalue(const Expr& e) {
+    auto out = std::make_unique<Expr>(e.kind, e.line);
+    out->name = e.name;
+    for (const auto& a : e.args) out->args.push_back(clone_expr(*a));
+    return out;
+  }
+
+  ExprPtr clone_expr(const Expr& e) {
+    auto out = std::make_unique<Expr>(e.kind, e.line);
+    out->int_val = e.int_val;
+    out->float_val = e.float_val;
+    out->name = e.name;
+    out->un = e.un;
+    out->bin = e.bin;
+    if (e.lhs) out->lhs = clone_expr(*e.lhs);
+    if (e.rhs) out->rhs = clone_expr(*e.rhs);
+    for (const auto& a : e.args) out->args.push_back(clone_expr(*a));
+    return out;
+  }
+
+  ExprPtr parse_binary_chain(ExprPtr (Parser::*next)(),
+                             std::initializer_list<std::pair<Tok, BinaryOp>> ops) {
+    ExprPtr lhs = (this->*next)();
+    while (true) {
+      bool matched = false;
+      for (auto [tok, op] : ops) {
+        if (at(tok)) {
+          const int line = cur().line;
+          ++pos_;
+          auto bin = std::make_unique<Expr>(ExprKind::Binary, line);
+          bin->bin = op;
+          bin->lhs = std::move(lhs);
+          bin->rhs = (this->*next)();
+          lhs = std::move(bin);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  ExprPtr parse_or() {
+    return parse_binary_chain(&Parser::parse_and, {{Tok::OrOr, BinaryOp::Or}});
+  }
+  ExprPtr parse_and() {
+    return parse_binary_chain(&Parser::parse_equality, {{Tok::AndAnd, BinaryOp::And}});
+  }
+  ExprPtr parse_equality() {
+    return parse_binary_chain(&Parser::parse_relational,
+                              {{Tok::EQ, BinaryOp::EQ}, {Tok::NE, BinaryOp::NE}});
+  }
+  ExprPtr parse_relational() {
+    return parse_binary_chain(&Parser::parse_additive,
+                              {{Tok::LT, BinaryOp::LT}, {Tok::LE, BinaryOp::LE},
+                               {Tok::GT, BinaryOp::GT}, {Tok::GE, BinaryOp::GE}});
+  }
+  ExprPtr parse_additive() {
+    return parse_binary_chain(&Parser::parse_multiplicative,
+                              {{Tok::Plus, BinaryOp::Add}, {Tok::Minus, BinaryOp::Sub}});
+  }
+  ExprPtr parse_multiplicative() {
+    return parse_binary_chain(&Parser::parse_unary,
+                              {{Tok::Star, BinaryOp::Mul}, {Tok::Slash, BinaryOp::Div},
+                               {Tok::Percent, BinaryOp::Rem}});
+  }
+
+  ExprPtr parse_unary() {
+    const int line = cur().line;
+    if (accept(Tok::Minus)) {
+      auto e = std::make_unique<Expr>(ExprKind::Unary, line);
+      e->un = UnOp::Neg;
+      e->lhs = parse_unary();
+      return e;
+    }
+    if (accept(Tok::Not)) {
+      auto e = std::make_unique<Expr>(ExprKind::Unary, line);
+      e->un = UnOp::Not;
+      e->lhs = parse_unary();
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    if (e->kind == ExprKind::VarRef && at(Tok::LBracket)) {
+      auto idx = std::make_unique<Expr>(ExprKind::Index, e->line);
+      idx->name = e->name;
+      while (accept(Tok::LBracket)) {
+        idx->args.push_back(parse_expr());
+        eat(Tok::RBracket, "array subscript");
+      }
+      return idx;
+    }
+    return e;
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = cur();
+    switch (t.kind) {
+      case Tok::IntLit: {
+        ++pos_;
+        auto e = std::make_unique<Expr>(ExprKind::IntLit, t.line);
+        e->int_val = t.int_val;
+        return e;
+      }
+      case Tok::FloatLit: {
+        ++pos_;
+        auto e = std::make_unique<Expr>(ExprKind::FloatLit, t.line);
+        e->float_val = t.float_val;
+        return e;
+      }
+      case Tok::Ident: {
+        ++pos_;
+        if (accept(Tok::LParen)) {
+          auto call = std::make_unique<Expr>(ExprKind::Call, t.line);
+          call->name = t.text;
+          if (!at(Tok::RParen)) {
+            do {
+              call->args.push_back(parse_expr());
+            } while (accept(Tok::Comma));
+          }
+          eat(Tok::RParen, "call arguments");
+          return call;
+        }
+        auto e = std::make_unique<Expr>(ExprKind::VarRef, t.line);
+        e->name = t.text;
+        return e;
+      }
+      case Tok::LParen: {
+        ++pos_;
+        ExprPtr e = parse_expr();
+        eat(Tok::RParen, "parenthesized expression");
+        return e;
+      }
+      default:
+        fail("expected expression");
+    }
+  }
+};
+
+}  // namespace
+
+Program parse(const std::string& source) { return Parser(lex(source)).run(); }
+
+}  // namespace ac::minic

@@ -1,0 +1,14 @@
+// Recursive-descent parser for MiniC.
+#pragma once
+
+#include <string>
+
+#include "minic/ast.hpp"
+
+namespace ac::minic {
+
+/// Parse a full translation unit; throws ac::CompileError with a line-tagged
+/// message on the first syntax error.
+Program parse(const std::string& source);
+
+}  // namespace ac::minic

@@ -1,0 +1,34 @@
+// Token definitions for the MiniC frontend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ac::minic {
+
+enum class Tok : std::uint8_t {
+  End,
+  // literals / identifiers
+  IntLit, FloatLit, Ident,
+  // keywords
+  KwInt, KwDouble, KwVoid, KwIf, KwElse, KwFor, KwWhile, KwReturn, KwBreak, KwContinue,
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket, Comma, Semi,
+  // operators
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+  Plus, Minus, Star, Slash, Percent, PlusPlus, MinusMinus,
+  EQ, NE, LT, LE, GT, GE, AndAnd, OrOr, Not,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;       // identifier spelling / literal text
+  std::int64_t int_val = 0;
+  double float_val = 0.0;
+  int line = 0;
+  int col = 0;
+};
+
+const char* tok_name(Tok t);
+
+}  // namespace ac::minic

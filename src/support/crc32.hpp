@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3 polynomial) used by the checkpoint file format to detect
+// torn or corrupted checkpoints, mirroring FTI's integrity checks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ac {
+
+/// Incremental CRC-32; pass the previous value as `seed` to chain buffers.
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace ac

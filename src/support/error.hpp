@@ -1,0 +1,56 @@
+// Common error type used across the AutoCheck reproduction.
+//
+// All recoverable failures (malformed trace, MiniC diagnostics, VM traps,
+// checkpoint corruption) are reported as exceptions derived from ac::Error so
+// callers can distinguish library failures from logic bugs (assert/abort).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ac {
+
+/// Base class for all errors raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a trace file/stream violates the LLVM-Tracer block format.
+class TraceFormatError : public Error {
+ public:
+  explicit TraceFormatError(const std::string& what) : Error("trace format: " + what) {}
+};
+
+/// Raised for MiniC compile errors; carries the first diagnostic.
+class CompileError : public Error {
+ public:
+  explicit CompileError(const std::string& what) : Error("compile: " + what) {}
+};
+
+/// Raised when the VM traps (bad memory access, division by zero, ...).
+class VmError : public Error {
+ public:
+  explicit VmError(const std::string& what) : Error("vm: " + what) {}
+};
+
+/// Raised by the C/R substrate (missing/corrupt checkpoint, size mismatch).
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& what) : Error("checkpoint: " + what) {}
+};
+
+/// Raised by the analysis pipeline on inconsistent inputs (e.g. an MCL region
+/// that never executes).
+class AnalysisError : public Error {
+ public:
+  explicit AnalysisError(const std::string& what) : Error("analysis: " + what) {}
+};
+
+}  // namespace ac
+
+/// Internal invariant check; always on (analysis correctness depends on it).
+#define AC_CHECK(cond, msg)                                        \
+  do {                                                             \
+    if (!(cond)) throw ::ac::Error(std::string("internal: ") + msg); \
+  } while (0)

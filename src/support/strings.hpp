@@ -1,0 +1,47 @@
+// Small string utilities shared by the trace parser, MiniC lexer and report
+// printers. Kept allocation-light: the trace hot path uses the string_view
+// based splitters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ac {
+
+/// Split `s` on `sep`, keeping empty fields (CSV semantics).
+std::vector<std::string_view> split_view(std::string_view s, char sep);
+
+/// Split `s` on `sep`, dropping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Join `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string (libstdc++ 12 lacks std::format).
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parse a signed decimal int64; throws ac::Error on garbage.
+std::int64_t parse_i64(std::string_view s);
+
+/// Parse a double; throws ac::Error on garbage.
+double parse_f64(std::string_view s);
+
+/// Parse a 0x-prefixed hexadecimal address; throws ac::Error on garbage.
+std::uint64_t parse_hex(std::string_view s);
+
+/// Replace all occurrences of `${key}` in `text` for each (key,value) pair.
+/// Used to instantiate MiniC app sources with size knobs.
+std::string substitute(std::string text,
+                       const std::vector<std::pair<std::string, std::string>>& vars);
+
+/// Human-readable byte count ("12.7G", "2.6M", "52K", "431B").
+std::string human_bytes(std::uint64_t bytes);
+
+}  // namespace ac

@@ -1,0 +1,26 @@
+// ASCII table printer used by the bench harness to render the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ac {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; it may have fewer cells than the header (padded empty).
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column-aligned cells and a header separator.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ac

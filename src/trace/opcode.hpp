@@ -1,0 +1,48 @@
+// LLVM 3.4 opcode numbering as emitted by LLVM-Tracer and shown in the
+// paper's Figures 1 and 6 (Load=27, Store=28, Alloca=26, Call=49, Mul=12 ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ac::trace {
+
+enum class Opcode : std::uint8_t {
+  Ret = 1,
+  Br = 2,
+  Add = 8,
+  FAdd = 9,
+  Sub = 10,
+  FSub = 11,
+  Mul = 12,
+  FMul = 13,
+  UDiv = 14,
+  SDiv = 15,
+  FDiv = 16,
+  URem = 17,
+  SRem = 18,
+  FRem = 19,
+  Alloca = 26,
+  Load = 27,
+  Store = 28,
+  GetElementPtr = 29,
+  FPToSI = 34,
+  SIToFP = 36,
+  BitCast = 43,
+  ICmp = 46,
+  FCmp = 47,
+  Call = 49,
+};
+
+/// Mnemonic ("Load", "Mul", ...) for reports and tests.
+std::string opcode_name(Opcode op);
+
+/// True for the arithmetic instructions of Table I (reg-reg map sources).
+/// ICmp/FCmp are included as a documented extension (see DESIGN.md) so that
+/// condition flags keep data provenance.
+bool is_arithmetic(Opcode op);
+
+/// True if `num` is a known opcode number.
+bool is_known_opcode(int num);
+
+}  // namespace ac::trace

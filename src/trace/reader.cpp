@@ -1,0 +1,140 @@
+#include "trace/reader.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace ac::trace {
+
+namespace {
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t pos = text.find('\n', start);
+    if (pos == std::string_view::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return lines;
+}
+
+bool is_block_header(std::string_view line) {
+  if (!starts_with(line, "0,")) return false;
+  // Headers have 6 fields; callee operand lines ("0,bits,value,is_reg,name")
+  // have 5. Count commas without allocating.
+  int commas = 0;
+  for (char c : line) commas += (c == ',');
+  return commas >= 5;
+}
+
+std::vector<TraceRecord> parse_lines(const std::vector<std::string_view>& lines) {
+  std::vector<TraceRecord> records;
+  records.reserve(lines.size() / 4 + 1);
+  std::size_t pos = 0;
+  while (pos < lines.size()) {
+    if (trim(lines[pos]).empty()) {
+      ++pos;
+      continue;
+    }
+    records.push_back(parse_block(lines, pos));
+  }
+  return records;
+}
+
+}  // namespace
+
+std::vector<TraceRecord> read_trace_text(std::string_view text) {
+  return parse_lines(split_lines(text));
+}
+
+std::string read_file_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw Error("cannot open file: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string data(size > 0 ? static_cast<std::size_t>(size) : 0, '\0');
+  if (size > 0 && std::fread(data.data(), 1, data.size(), f) != data.size()) {
+    std::fclose(f);
+    throw Error("short read from file: " + path);
+  }
+  std::fclose(f);
+  return data;
+}
+
+std::vector<TraceRecord> read_trace_file(const std::string& path) {
+  const std::string data = read_file_bytes(path);
+  return read_trace_text(data);
+}
+
+std::vector<TraceRecord> read_trace_text_parallel(std::string_view text, int num_threads) {
+#ifndef _OPENMP
+  (void)num_threads;
+  return read_trace_text(text);
+#else
+  const std::vector<std::string_view> lines = split_lines(text);
+  if (lines.size() < 4096) return parse_lines(lines);
+
+  int threads = num_threads > 0 ? num_threads : omp_get_max_threads();
+  if (threads < 1) threads = 1;
+  const std::size_t want_chunks = static_cast<std::size_t>(threads) * 4;
+
+  // Partition at block-header boundaries so no instruction block is split
+  // across sub-streams (paper §V-A).
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;  // [begin,end) line ranges
+  const std::size_t target = lines.size() / want_chunks + 1;
+  std::size_t begin = 0;
+  while (begin < lines.size()) {
+    std::size_t end = begin + target;
+    if (end >= lines.size()) {
+      end = lines.size();
+    } else {
+      while (end < lines.size() && !is_block_header(lines[end])) ++end;
+    }
+    chunks.emplace_back(begin, end);
+    begin = end;
+  }
+
+  std::vector<std::vector<TraceRecord>> partial(chunks.size());
+  std::string first_error;
+#pragma omp parallel for schedule(dynamic) num_threads(threads)
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    try {
+      std::vector<std::string_view> sub(lines.begin() + static_cast<std::ptrdiff_t>(chunks[c].first),
+                                        lines.begin() + static_cast<std::ptrdiff_t>(chunks[c].second));
+      partial[c] = parse_lines(sub);
+    } catch (const std::exception& e) {
+#pragma omp critical
+      if (first_error.empty()) first_error = e.what();
+    }
+  }
+  if (!first_error.empty()) throw TraceFormatError(first_error);
+
+  std::size_t total = 0;
+  for (const auto& p : partial) total += p.size();
+  std::vector<TraceRecord> records;
+  records.reserve(total);
+  for (auto& p : partial) {
+    for (auto& r : p) records.push_back(std::move(r));
+  }
+  return records;
+#endif
+}
+
+std::vector<TraceRecord> read_trace_file_parallel(const std::string& path, int num_threads) {
+  const std::string data = read_file_bytes(path);
+  return read_trace_text_parallel(data, num_threads);
+}
+
+}  // namespace ac::trace

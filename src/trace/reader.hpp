@@ -1,0 +1,34 @@
+// Trace parsing: text -> std::vector<TraceRecord>.
+//
+// Two paths, mirroring §V-A of the paper:
+//  * read_trace_text / read_trace_file — sequential parse.
+//  * read_trace_file_parallel — the paper's OpenMP optimization: the master
+//    partitions the input into sub-streams *without splitting instruction
+//    blocks*, worker threads parse chunks concurrently, and the chunks are
+//    concatenated in order. Verified equivalent to the serial reader.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace ac::trace {
+
+/// Parse a whole trace held in memory.
+std::vector<TraceRecord> read_trace_text(std::string_view text);
+
+/// Load `path` and parse sequentially.
+std::vector<TraceRecord> read_trace_file(const std::string& path);
+
+/// Load `path` and parse with OpenMP workers (falls back to serial when built
+/// without OpenMP or when the file is small). `num_threads` 0 = runtime default.
+std::vector<TraceRecord> read_trace_file_parallel(const std::string& path, int num_threads = 0);
+
+/// Parallel parse of in-memory text (exposed for tests/benchmarks).
+std::vector<TraceRecord> read_trace_text_parallel(std::string_view text, int num_threads = 0);
+
+/// Slurp a file (shared by readers and tests).
+std::string read_file_bytes(const std::string& path);
+
+}  // namespace ac::trace

@@ -1,0 +1,177 @@
+#include "trace/record.hpp"
+
+#include <cinttypes>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace ac::trace {
+
+std::string value_to_text(const Value& v) {
+  switch (v.kind) {
+    case ValueKind::Int: return strf("%" PRId64, v.i);
+    case ValueKind::Float: return strf("%.6f", v.f);
+    case ValueKind::Addr: return strf("0x%" PRIx64, v.addr);
+  }
+  return "0";
+}
+
+Value value_from_text(std::string_view text) {
+  text = trim(text);
+  if (starts_with(text, "0x")) return Value::make_addr(parse_hex(text));
+  if (text.find('.') != std::string_view::npos ||
+      text.find("inf") != std::string_view::npos ||
+      text.find("nan") != std::string_view::npos) {
+    return Value::make_float(parse_f64(text));
+  }
+  return Value::make_int(parse_i64(text));
+}
+
+Operand Operand::input(int idx, Value v, bool reg, std::string nm, int bits) {
+  Operand op;
+  op.slot = OperandSlot::Input;
+  op.index = idx;
+  op.bits = bits;
+  op.value = v;
+  op.is_reg = reg;
+  op.name = std::move(nm);
+  return op;
+}
+
+Operand Operand::result(Value v, std::string nm, int bits) {
+  Operand op;
+  op.slot = OperandSlot::Result;
+  op.bits = bits;
+  op.value = v;
+  op.is_reg = true;
+  op.name = std::move(nm);
+  return op;
+}
+
+Operand Operand::callee(std::string fn) {
+  Operand op;
+  op.slot = OperandSlot::Callee;
+  op.value = Value::make_addr(0);
+  op.is_reg = false;
+  op.name = std::move(fn);
+  return op;
+}
+
+Operand Operand::param(Value v, std::string nm, int bits) {
+  Operand op;
+  op.slot = OperandSlot::Param;
+  op.bits = bits;
+  op.value = v;
+  op.is_reg = true;
+  op.name = std::move(nm);
+  return op;
+}
+
+const Operand* TraceRecord::find(OperandSlot slot) const {
+  for (const auto& op : operands) {
+    if (op.slot == slot) return &op;
+  }
+  return nullptr;
+}
+
+const Operand* TraceRecord::input(int idx) const {
+  for (const auto& op : operands) {
+    if (op.slot == OperandSlot::Input && op.index == idx) return &op;
+  }
+  return nullptr;
+}
+
+std::vector<const Operand*> TraceRecord::params() const {
+  std::vector<const Operand*> out;
+  for (const auto& op : operands) {
+    if (op.slot == OperandSlot::Param) out.push_back(&op);
+  }
+  return out;
+}
+
+bool TraceRecord::is_call_with_body() const {
+  return opcode == Opcode::Call && find(OperandSlot::Param) != nullptr;
+}
+
+std::string TraceRecord::to_text() const {
+  std::string out = strf("0,%d,%s,%s,%d,%" PRIu64 "\n", line, func.c_str(), bb.c_str(),
+                         static_cast<int>(opcode), dyn_id);
+  for (const auto& op : operands) {
+    std::string slot;
+    switch (op.slot) {
+      case OperandSlot::Input: slot = strf("%d", op.index); break;
+      case OperandSlot::Callee: slot = "0"; break;
+      case OperandSlot::Param: slot = "f"; break;
+      case OperandSlot::Result: slot = "r"; break;
+    }
+    out += strf("%s,%d,%s,%d,%s\n", slot.c_str(), op.bits,
+                value_to_text(op.value).c_str(), op.is_reg ? 1 : 0,
+                op.name.empty() ? " " : op.name.c_str());
+  }
+  return out;
+}
+
+namespace {
+
+Operand parse_operand_line(std::string_view text) {
+  auto fields = split_view(text, ',');
+  if (fields.size() < 5) throw TraceFormatError("operand line needs 5 fields: '" + std::string(text) + "'");
+  Operand op;
+  std::string_view slot = trim(fields[0]);
+  if (slot == "r") {
+    op.slot = OperandSlot::Result;
+  } else if (slot == "f") {
+    op.slot = OperandSlot::Param;
+  } else if (slot == "0") {
+    op.slot = OperandSlot::Callee;
+  } else {
+    op.slot = OperandSlot::Input;
+    op.index = static_cast<int>(parse_i64(slot));
+    if (op.index <= 0) throw TraceFormatError("bad operand index in '" + std::string(text) + "'");
+  }
+  op.bits = static_cast<int>(parse_i64(fields[1]));
+  op.value = value_from_text(fields[2]);
+  op.is_reg = parse_i64(fields[3]) != 0;
+  std::string_view name = trim(fields[4]);
+  op.name = std::string(name);
+  return op;
+}
+
+}  // namespace
+
+TraceRecord parse_block(const std::vector<std::string_view>& lines, std::size_t& pos) {
+  if (pos >= lines.size()) throw TraceFormatError("block start past end of input");
+  auto header = split_view(lines[pos], ',');
+  if (header.size() < 6 || trim(header[0]) != "0") {
+    throw TraceFormatError("bad block header: '" + std::string(lines[pos]) + "'");
+  }
+  TraceRecord rec;
+  rec.line = static_cast<std::int32_t>(parse_i64(header[1]));
+  rec.func = std::string(trim(header[2]));
+  rec.bb = std::string(trim(header[3]));
+  const int opnum = static_cast<int>(parse_i64(header[4]));
+  if (!is_known_opcode(opnum)) {
+    throw TraceFormatError(strf("unknown opcode %d at dyn record '%s'", opnum,
+                                std::string(lines[pos]).c_str()));
+  }
+  rec.opcode = static_cast<Opcode>(opnum);
+  rec.dyn_id = static_cast<std::uint64_t>(parse_i64(header[5]));
+  ++pos;
+  while (pos < lines.size()) {
+    std::string_view l = lines[pos];
+    if (trim(l).empty()) {
+      ++pos;
+      continue;
+    }
+    // A new block starts with "0," followed by a source line number; operand
+    // lines never start with "0," except the callee slot, which we disambiguate
+    // by field count (headers have 6 fields; callee operand lines have 5).
+    auto fields = split_view(l, ',');
+    if (trim(fields[0]) == "0" && fields.size() >= 6) break;
+    rec.operands.push_back(parse_operand_line(l));
+    ++pos;
+  }
+  return rec;
+}
+
+}  // namespace ac::trace

@@ -1,0 +1,47 @@
+#include "trace/writer.hpp"
+
+#include "support/error.hpp"
+
+namespace ac::trace {
+
+namespace {
+constexpr std::size_t kFlushThreshold = 1 << 20;  // 1 MiB write batches
+}
+
+FileSink::FileSink(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (!file_) throw Error("cannot open trace file for writing: " + path);
+  buffer_.reserve(kFlushThreshold + 4096);
+}
+
+FileSink::~FileSink() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; a failed final flush loses trailing records
+    // but the explicit close() path reports it.
+  }
+}
+
+void FileSink::append(const TraceRecord& rec) {
+  buffer_ += rec.to_text();
+  ++count_;
+  if (buffer_.size() >= kFlushThreshold) flush();
+}
+
+void FileSink::flush() {
+  if (buffer_.empty() || !file_) return;
+  const std::size_t n = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+  if (n != buffer_.size()) throw Error("short write to trace file");
+  bytes_ += n;
+  buffer_.clear();
+}
+
+void FileSink::close() {
+  if (!file_) return;
+  flush();
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace ac::trace

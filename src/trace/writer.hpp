@@ -1,0 +1,93 @@
+// Trace sinks. The VM emits TraceRecords through this interface; benchmarks
+// stream to a file (measuring trace size / generation time for Table II),
+// while tests and the fast analysis path keep records in memory.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace ac::trace {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void append(const TraceRecord& rec) = 0;
+  /// Number of records written so far.
+  virtual std::uint64_t count() const = 0;
+};
+
+/// Discards records but counts them (used to time pure execution).
+class NullSink final : public TraceSink {
+ public:
+  void append(const TraceRecord&) override { ++count_; }
+  std::uint64_t count() const override { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// Collects records in memory; the zero-copy input for the analysis.
+class MemorySink final : public TraceSink {
+ public:
+  void append(const TraceRecord& rec) override {
+    records_.push_back(rec);
+  }
+  std::uint64_t count() const override { return records_.size(); }
+
+  std::vector<TraceRecord>& records() { return records_; }
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Forwards each record to a callback — how an instrumented execution feeds
+/// the streaming analysis without materializing the trace.
+class CallbackSink final : public TraceSink {
+ public:
+  using Fn = std::function<void(const TraceRecord&)>;
+  explicit CallbackSink(Fn fn) : fn_(std::move(fn)) {}
+
+  void append(const TraceRecord& rec) override {
+    fn_(rec);
+    ++count_;
+  }
+  std::uint64_t count() const override { return count_; }
+
+ private:
+  Fn fn_;
+  std::uint64_t count_ = 0;
+};
+
+/// Writes LLVM-Tracer text blocks to a file with buffered I/O.
+class FileSink final : public TraceSink {
+ public:
+  explicit FileSink(const std::string& path);
+  ~FileSink() override;
+  FileSink(const FileSink&) = delete;
+  FileSink& operator=(const FileSink&) = delete;
+
+  void append(const TraceRecord& rec) override;
+  std::uint64_t count() const override { return count_; }
+
+  /// Bytes written so far (trace size column of Table II).
+  std::uint64_t bytes() const { return bytes_; }
+
+  /// Flush and close early (otherwise the destructor does).
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string buffer_;
+  std::uint64_t count_ = 0;
+  std::uint64_t bytes_ = 0;
+
+  void flush();
+};
+
+}  // namespace ac::trace

@@ -1,0 +1,635 @@
+#include "vm/interp.hpp"
+
+#include <cinttypes>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace ac::vm {
+
+using trace::Opcode;
+using trace::Operand;
+using trace::TraceRecord;
+
+namespace {
+
+/// Trace opcode for a Bin instruction.
+Opcode bin_opcode(ir::BinOp op, bool is_float) {
+  switch (op) {
+    case ir::BinOp::Add: return is_float ? Opcode::FAdd : Opcode::Add;
+    case ir::BinOp::Sub: return is_float ? Opcode::FSub : Opcode::Sub;
+    case ir::BinOp::Mul: return is_float ? Opcode::FMul : Opcode::Mul;
+    case ir::BinOp::Div: return is_float ? Opcode::FDiv : Opcode::SDiv;
+    case ir::BinOp::Rem: return is_float ? Opcode::FRem : Opcode::SRem;
+    default: return is_float ? Opcode::FCmp : Opcode::ICmp;
+  }
+}
+
+}  // namespace
+
+Interpreter::Interpreter(const ir::Module& module) : module_(module) {
+  global_addr_.reserve(module_.globals.size());
+  for (const auto& g : module_.globals) {
+    global_addr_.push_back(arena_.alloc_global(static_cast<std::uint64_t>(g.bytes())));
+  }
+}
+
+void Interpreter::emit(TraceRecord rec) {
+  rec.dyn_id = dyn_id_++;
+  ++result_.steps;
+  if (result_.steps > opts_->max_steps) throw VmError("step limit exceeded (runaway program?)");
+  if (opts_->sink) opts_->sink->append(rec);
+}
+
+void Interpreter::emit_global_allocas() {
+  // Globals appear in the trace as Alloca records in a synthetic "<global>"
+  // function so the analysis can build its address map for them (the paper's
+  // FT workaround depends on globals being visible; see DESIGN.md).
+  for (std::size_t i = 0; i < module_.globals.size(); ++i) {
+    const ir::VarInfo& g = module_.globals[i];
+    TraceRecord rec;
+    rec.line = g.decl_line;
+    rec.func = "<global>";
+    rec.bb = strf("%d:0", g.decl_line);
+    rec.opcode = Opcode::Alloca;
+    rec.operands.push_back(Operand::input(1, Value::make_int(g.bytes()), false, ""));
+    rec.operands.push_back(Operand::result(Value::make_addr(global_addr_[i]), g.name));
+    emit(std::move(rec));
+  }
+}
+
+std::uint64_t Interpreter::slot_address(const Frame& f, int slot, bool is_global) const {
+  if (is_global) return global_addr_.at(static_cast<std::size_t>(slot));
+  const std::uint64_t addr = f.slot_addr.at(static_cast<std::size_t>(slot));
+  if (addr == 0) throw VmError("use of local before its alloca: " + f.fn->local(slot).name);
+  return addr;
+}
+
+Value Interpreter::eval(const Frame& f, const ir::Opnd& o) const {
+  switch (o.kind) {
+    case ir::Opnd::Kind::Reg: return f.regs.at(static_cast<std::size_t>(o.reg));
+    case ir::Opnd::Kind::ImmI: return Value::make_int(o.imm_i);
+    case ir::Opnd::Kind::ImmF: return Value::make_float(o.imm_f);
+    case ir::Opnd::Kind::Var:
+      return Value::make_addr(slot_address(f, o.var_slot, o.var_is_global));
+    case ir::Opnd::Kind::None: break;
+  }
+  throw VmError("evaluating empty operand");
+}
+
+std::string Interpreter::opnd_reg_name(const ir::Opnd& o) const {
+  switch (o.kind) {
+    case ir::Opnd::Kind::Reg: return strf("%d", o.reg);
+    case ir::Opnd::Kind::Var: {
+      const Frame& f = frames_.back();
+      return o.var_is_global ? module_.global(o.var_slot).name : f.fn->local(o.var_slot).name;
+    }
+    default: return "";
+  }
+}
+
+Operand Interpreter::opnd_to_trace(const Frame& f, const ir::Opnd& o, int index) const {
+  const Value v = eval(f, o);
+  const bool is_reg = o.kind == ir::Opnd::Kind::Reg || o.kind == ir::Opnd::Kind::Var;
+  return Operand::input(index, v, is_reg, opnd_reg_name(o));
+}
+
+// ---------------------------------------------------------------------------
+// Frame management
+// ---------------------------------------------------------------------------
+
+void Interpreter::push_frame(const ir::Function& fn, const std::vector<Value>& args,
+                             const std::vector<std::string>& arg_names, int pending_dst) {
+  if (frames_.size() > 512) throw VmError("call stack overflow");
+  Frame fr;
+  fr.fn = &fn;
+  fr.slot_addr.assign(fn.locals.size(), 0);
+  fr.regs.assign(static_cast<std::size_t>(fn.num_regs), Value{});
+  fr.pc = 0;
+  fr.stack_mark = arena_.stack_mark();
+  fr.pending_dst = pending_dst;
+  frames_.push_back(std::move(fr));
+
+  // Execute the prologue allocas (codegen puts every local's Alloca first).
+  Frame& f = top();
+  while (f.pc < static_cast<int>(fn.instrs.size()) &&
+         fn.instrs[static_cast<std::size_t>(f.pc)].kind == ir::IKind::Alloca) {
+    exec_alloca(fn.instrs[static_cast<std::size_t>(f.pc)]);
+    ++f.pc;
+  }
+
+  // Bind arguments: store each incoming value into its parameter slot, which
+  // appears in the trace as a Store of register "arg<i>" into the parameter
+  // variable — giving the analysis the argument->parameter correlation that
+  // complements the Call record's triplets.
+  AC_CHECK(args.size() == static_cast<std::size_t>(fn.num_params), "call arity mismatch");
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::uint64_t addr = f.slot_addr[i];
+    arena_.write(addr, args[i]);
+    TraceRecord rec;
+    rec.line = fn.decl_line;
+    rec.func = fn.name;
+    rec.bb = strf("%d:0", fn.decl_line);
+    rec.opcode = Opcode::Store;
+    rec.operands.push_back(Operand::input(1, args[i], true, arg_names[i]));
+    rec.operands.push_back(
+        Operand::input(2, Value::make_addr(addr), true, fn.locals[i].name));
+    emit(std::move(rec));
+  }
+}
+
+void Interpreter::pop_frame(const Value* ret_value) {
+  const int pending = top().pending_dst;
+  arena_.release_stack(top().stack_mark);
+  frames_.pop_back();
+  if (!frames_.empty() && pending >= 0) {
+    AC_CHECK(ret_value != nullptr, "non-void call returned no value");
+    top().regs.at(static_cast<std::size_t>(pending)) = *ret_value;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Instruction execution
+// ---------------------------------------------------------------------------
+
+void Interpreter::exec_alloca(const ir::Instr& in) {
+  Frame& f = top();
+  const ir::VarInfo& v = f.fn->local(in.var_slot);
+  const std::uint64_t addr = arena_.alloc_stack(static_cast<std::uint64_t>(v.bytes()));
+  f.slot_addr[static_cast<std::size_t>(in.var_slot)] = addr;
+  result_.peak_memory = std::max(result_.peak_memory, arena_.peak_bytes());
+
+  TraceRecord rec;
+  rec.line = in.line;
+  rec.func = f.fn->name;
+  rec.bb = strf("%d:0", in.line);
+  rec.opcode = Opcode::Alloca;
+  rec.operands.push_back(Operand::input(1, Value::make_int(v.bytes()), false, ""));
+  rec.operands.push_back(Operand::result(Value::make_addr(addr), v.name));
+  emit(std::move(rec));
+}
+
+void Interpreter::exec_load(const ir::Instr& in) {
+  Frame& f = top();
+  const Value ptr = eval(f, in.a);
+  if (!ptr.is_addr()) throw VmError("load through a non-pointer value");
+  const Value v = arena_.read(ptr.addr);
+  f.regs.at(static_cast<std::size_t>(in.dst)) = v;
+
+  TraceRecord rec;
+  rec.line = in.line;
+  rec.func = f.fn->name;
+  rec.bb = strf("%d:0", in.line);
+  rec.opcode = Opcode::Load;
+  rec.operands.push_back(opnd_to_trace(f, in.a, 1));
+  rec.operands.push_back(Operand::result(v, strf("%d", in.dst)));
+  emit(std::move(rec));
+}
+
+void Interpreter::exec_store(const ir::Instr& in) {
+  Frame& f = top();
+  const Value v = eval(f, in.a);
+  const Value ptr = eval(f, in.b);
+  if (!ptr.is_addr()) throw VmError("store through a non-pointer value");
+  arena_.write(ptr.addr, v);
+
+  TraceRecord rec;
+  rec.line = in.line;
+  rec.func = f.fn->name;
+  rec.bb = strf("%d:0", in.line);
+  rec.opcode = Opcode::Store;
+  rec.operands.push_back(opnd_to_trace(f, in.a, 1));
+  rec.operands.push_back(opnd_to_trace(f, in.b, 2));
+  emit(std::move(rec));
+}
+
+void Interpreter::exec_gep(const ir::Instr& in) {
+  Frame& f = top();
+  const Value base = eval(f, in.base);
+  if (!base.is_addr()) throw VmError("gep on a non-pointer base");
+  std::int64_t elem_offset = 0;
+  std::vector<Value> idx_values;
+  idx_values.reserve(in.indices.size());
+  for (std::size_t i = 0; i < in.indices.size(); ++i) {
+    const Value idx = eval(f, in.indices[i]);
+    if (!idx.is_int()) throw VmError("non-integer array subscript");
+    idx_values.push_back(idx);
+    elem_offset += idx.i * in.strides[i];
+  }
+  const std::uint64_t addr =
+      base.addr + static_cast<std::uint64_t>(elem_offset) * kCellBytes;
+  f.regs.at(static_cast<std::size_t>(in.dst)) = Value::make_addr(addr);
+
+  TraceRecord rec;
+  rec.line = in.line;
+  rec.func = f.fn->name;
+  rec.bb = strf("%d:0", in.line);
+  rec.opcode = Opcode::GetElementPtr;
+  rec.operands.push_back(opnd_to_trace(f, in.base, 1));
+  for (std::size_t i = 0; i < idx_values.size(); ++i) {
+    rec.operands.push_back(Operand::input(static_cast<int>(i) + 2, idx_values[i],
+                                          in.indices[i].kind == ir::Opnd::Kind::Reg,
+                                          opnd_reg_name(in.indices[i])));
+  }
+  rec.operands.push_back(Operand::result(Value::make_addr(addr), strf("%d", in.dst)));
+  emit(std::move(rec));
+}
+
+void Interpreter::exec_bin(const ir::Instr& in) {
+  Frame& f = top();
+  const Value a = eval(f, in.a);
+  const Value b = eval(f, in.b);
+  Value out;
+
+  if (in.is_float) {
+    const double x = a.as_f64();
+    const double y = b.as_f64();
+    switch (in.bin) {
+      case ir::BinOp::Add: out = Value::make_float(x + y); break;
+      case ir::BinOp::Sub: out = Value::make_float(x - y); break;
+      case ir::BinOp::Mul: out = Value::make_float(x * y); break;
+      case ir::BinOp::Div:
+        if (y == 0.0) throw VmError(strf("float division by zero at line %d", in.line));
+        out = Value::make_float(x / y);
+        break;
+      case ir::BinOp::Rem:
+        if (y == 0.0) throw VmError(strf("float remainder by zero at line %d", in.line));
+        out = Value::make_float(std::fmod(x, y));
+        break;
+      case ir::BinOp::CmpEQ: out = Value::make_int(x == y); break;
+      case ir::BinOp::CmpNE: out = Value::make_int(x != y); break;
+      case ir::BinOp::CmpLT: out = Value::make_int(x < y); break;
+      case ir::BinOp::CmpLE: out = Value::make_int(x <= y); break;
+      case ir::BinOp::CmpGT: out = Value::make_int(x > y); break;
+      case ir::BinOp::CmpGE: out = Value::make_int(x >= y); break;
+    }
+  } else {
+    if (a.is_addr() || b.is_addr()) throw VmError(strf("pointer arithmetic at line %d", in.line));
+    const std::int64_t x = a.as_i64();
+    const std::int64_t y = b.as_i64();
+    switch (in.bin) {
+      case ir::BinOp::Add: out = Value::make_int(x + y); break;
+      case ir::BinOp::Sub: out = Value::make_int(x - y); break;
+      case ir::BinOp::Mul: out = Value::make_int(x * y); break;
+      case ir::BinOp::Div:
+        if (y == 0) throw VmError(strf("integer division by zero at line %d", in.line));
+        out = Value::make_int(x / y);
+        break;
+      case ir::BinOp::Rem:
+        if (y == 0) throw VmError(strf("integer remainder by zero at line %d", in.line));
+        out = Value::make_int(x % y);
+        break;
+      case ir::BinOp::CmpEQ: out = Value::make_int(x == y); break;
+      case ir::BinOp::CmpNE: out = Value::make_int(x != y); break;
+      case ir::BinOp::CmpLT: out = Value::make_int(x < y); break;
+      case ir::BinOp::CmpLE: out = Value::make_int(x <= y); break;
+      case ir::BinOp::CmpGT: out = Value::make_int(x > y); break;
+      case ir::BinOp::CmpGE: out = Value::make_int(x >= y); break;
+    }
+  }
+  f.regs.at(static_cast<std::size_t>(in.dst)) = out;
+
+  TraceRecord rec;
+  rec.line = in.line;
+  rec.func = f.fn->name;
+  rec.bb = strf("%d:0", in.line);
+  rec.opcode = bin_opcode(in.bin, in.is_float);
+  rec.operands.push_back(opnd_to_trace(f, in.a, 1));
+  rec.operands.push_back(opnd_to_trace(f, in.b, 2));
+  rec.operands.push_back(Operand::result(out, strf("%d", in.dst)));
+  emit(std::move(rec));
+}
+
+void Interpreter::exec_cast(const ir::Instr& in) {
+  Frame& f = top();
+  const Value a = eval(f, in.a);
+  Value out;
+  if (in.cast == ir::CastKind::SiToFp) {
+    out = Value::make_float(static_cast<double>(a.as_i64()));
+  } else {
+    out = Value::make_int(static_cast<std::int64_t>(a.as_f64()));
+  }
+  f.regs.at(static_cast<std::size_t>(in.dst)) = out;
+
+  TraceRecord rec;
+  rec.line = in.line;
+  rec.func = f.fn->name;
+  rec.bb = strf("%d:0", in.line);
+  rec.opcode = in.cast == ir::CastKind::SiToFp ? Opcode::SIToFP : Opcode::FPToSI;
+  rec.operands.push_back(opnd_to_trace(f, in.a, 1));
+  rec.operands.push_back(Operand::result(out, strf("%d", in.dst)));
+  emit(std::move(rec));
+}
+
+void Interpreter::exec_br(const ir::Instr& in) {
+  Frame& f = top();
+
+  if (in.kind == ir::IKind::Jmp) {
+    TraceRecord rec;
+    rec.line = in.line;
+    rec.func = f.fn->name;
+    rec.bb = strf("%d:0", in.line);
+    rec.opcode = Opcode::Br;
+    emit(std::move(rec));
+    f.pc = in.t_true;
+    return;
+  }
+
+  // Conditional branch at the MCL header line == an iteration boundary.
+  const bool is_header = opts_->mcl && f.fn->name == opts_->mcl->function &&
+                         in.line == opts_->mcl->begin_line;
+  if (is_header) on_header_evaluation();
+
+  const Value cond = eval(f, in.a);
+  TraceRecord rec;
+  rec.line = in.line;
+  rec.func = f.fn->name;
+  rec.bb = strf("%d:0", in.line);
+  rec.opcode = Opcode::Br;
+  rec.operands.push_back(opnd_to_trace(f, in.a, 1));
+  emit(std::move(rec));
+
+  const bool taken =
+      cond.is_float() ? cond.f != 0.0 : (cond.is_addr() ? cond.addr != 0 : cond.i != 0);
+  if (is_header && taken) ++result_.iterations_started;
+  f.pc = taken ? in.t_true : in.t_false;
+}
+
+void Interpreter::exec_call(const ir::Instr& in) {
+  Frame& f = top();
+  std::vector<Value> args;
+  std::vector<std::string> arg_names;
+  args.reserve(in.args.size());
+  for (const auto& a : in.args) {
+    args.push_back(eval(f, a));
+    arg_names.push_back(opnd_reg_name(a));
+  }
+
+  TraceRecord rec;
+  rec.line = in.line;
+  rec.func = f.fn->name;
+  rec.bb = strf("%d:0", in.line);
+  rec.opcode = Opcode::Call;
+  rec.operands.push_back(Operand::callee(in.callee));
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    rec.operands.push_back(Operand::input(static_cast<int>(i) + 1, args[i],
+                                          in.args[i].kind != ir::Opnd::Kind::ImmI &&
+                                              in.args[i].kind != ir::Opnd::Kind::ImmF,
+                                          arg_names[i]));
+  }
+
+  if (in.is_builtin) {
+    bool has_result = false;
+    const Value ret = run_builtin(in.callee, args, has_result);
+    if (has_result) {
+      AC_CHECK(in.dst >= 0, "builtin result dropped");
+      f.regs.at(static_cast<std::size_t>(in.dst)) = ret;
+      rec.operands.push_back(Operand::result(ret, strf("%d", in.dst)));
+    }
+    emit(std::move(rec));
+    return;
+  }
+
+  const ir::Function* callee = module_.find_function(in.callee);
+  AC_CHECK(callee != nullptr, "call to unknown function " + in.callee);
+
+  // Call form 2 (Fig. 6(b)): argument operands followed by parameter
+  // indicator rows binding each argument value to the formal parameter name,
+  // plus a result placeholder naming the destination register (see DESIGN.md).
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    rec.operands.push_back(Operand::param(args[i], callee->locals[i].name));
+  }
+  if (in.dst >= 0) {
+    rec.operands.push_back(Operand::result(Value::make_int(0), strf("%d", in.dst)));
+  }
+  emit(std::move(rec));
+
+  // Rename arguments for the callee's binding stores: inside the callee the
+  // incoming values are registers arg1..argN.
+  std::vector<std::string> incoming;
+  for (std::size_t i = 0; i < args.size(); ++i) incoming.push_back(strf("arg%zu", i + 1));
+  push_frame(*callee, args, incoming, in.dst);
+}
+
+Value Interpreter::run_builtin(const std::string& name, const std::vector<Value>& args,
+                               bool& has_result) {
+  has_result = true;
+  auto f1 = [&](double (*fn)(double)) { return Value::make_float(fn(args.at(0).as_f64())); };
+  if (name == "sqrt") return f1(std::sqrt);
+  if (name == "fabs") return f1(std::fabs);
+  if (name == "exp") return f1(std::exp);
+  if (name == "log") return f1(std::log);
+  if (name == "sin") return f1(std::sin);
+  if (name == "cos") return f1(std::cos);
+  if (name == "floor") return f1(std::floor);
+  if (name == "pow") return Value::make_float(std::pow(args.at(0).as_f64(), args.at(1).as_f64()));
+  if (name == "timer") {
+    // Deterministic monotonically increasing pseudo-time, so benchmarks that
+    // accumulate timers (HPCCG's t1..t3, miniAMR's timer block) reproduce
+    // bit-identical traces on every run.
+    timer_counter_ += 0.001;
+    return Value::make_float(timer_counter_);
+  }
+  if (name == "print_int") {
+    result_.output += strf("%" PRId64 "\n", args.at(0).as_i64());
+    has_result = false;
+    return Value{};
+  }
+  if (name == "print_float") {
+    result_.output += strf("%.6f\n", args.at(0).as_f64());
+    has_result = false;
+    return Value{};
+  }
+  throw VmError("unknown builtin: " + name);
+}
+
+void Interpreter::exec_ret(const ir::Instr& in) {
+  Frame& f = top();
+  TraceRecord rec;
+  rec.line = in.line;
+  rec.func = f.fn->name;
+  rec.bb = strf("%d:0", in.line);
+  rec.opcode = Opcode::Ret;
+
+  if (!in.a.is_none()) {
+    const Value v = eval(f, in.a);
+    rec.operands.push_back(opnd_to_trace(f, in.a, 1));
+    emit(std::move(rec));
+    if (frames_.size() == 1) result_.exit_code = v.as_i64();
+    pop_frame(&v);
+  } else {
+    emit(std::move(rec));
+    pop_frame(nullptr);
+  }
+}
+
+void Interpreter::exec_instr(const ir::Instr& in) {
+  switch (in.kind) {
+    case ir::IKind::Alloca: exec_alloca(in); break;
+    case ir::IKind::Load: exec_load(in); break;
+    case ir::IKind::Store: exec_store(in); break;
+    case ir::IKind::Gep: exec_gep(in); break;
+    case ir::IKind::Bin: exec_bin(in); break;
+    case ir::IKind::Cast: exec_cast(in); break;
+    case ir::IKind::Br:
+    case ir::IKind::Jmp: exec_br(in); break;
+    case ir::IKind::Call: exec_call(in); break;
+    case ir::IKind::Ret: exec_ret(in); break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MCL instrumentation
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>>
+Interpreter::resolve_protected(const std::vector<std::string>& names) const {
+  // Resolution scope: the MCL host function's live frame, then globals —
+  // the same scope in which the paper inserts FTI_Protect calls.
+  const Frame& f = frames_.back();
+  std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>> out;
+  for (const auto& name : names) {
+    bool found = false;
+    for (std::size_t slot = 0; slot < f.fn->locals.size(); ++slot) {
+      if (f.fn->locals[slot].name == name) {
+        out.emplace_back(name, std::make_pair(f.slot_addr[slot],
+                                              static_cast<std::uint64_t>(f.fn->locals[slot].bytes())));
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      for (std::size_t g = 0; g < module_.globals.size(); ++g) {
+        if (module_.globals[g].name == name) {
+          out.emplace_back(name, std::make_pair(global_addr_[g],
+                                                static_cast<std::uint64_t>(module_.globals[g].bytes())));
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) throw CheckpointError("cannot resolve protected variable: " + name);
+  }
+  return out;
+}
+
+ckpt::CheckpointImage Interpreter::snapshot(const std::vector<std::string>& names) const {
+  ckpt::CheckpointImage img;
+  for (const auto& [name, range] : resolve_protected(names)) {
+    std::vector<ckpt::Cell> cells;
+    cells.reserve(range.second / kCellBytes);
+    for (std::uint64_t off = 0; off < range.second; off += kCellBytes) {
+      const Arena::RawCell raw = arena_.read_raw(range.first + off);
+      cells.push_back(ckpt::Cell{raw.payload, static_cast<std::uint8_t>(raw.kind)});
+    }
+    img.add(name, std::move(cells));
+  }
+  return img;
+}
+
+void Interpreter::apply_restore(const ckpt::CheckpointImage& img) {
+  for (const auto& snap : img.vars()) {
+    const auto resolved = resolve_protected({snap.name});
+    const auto& [addr, bytes] = resolved.front().second;
+    if (snap.cells.size() * kCellBytes != bytes) {
+      throw CheckpointError("size mismatch restoring variable: " + snap.name);
+    }
+    for (std::size_t i = 0; i < snap.cells.size(); ++i) {
+      arena_.write_raw(addr + i * kCellBytes,
+                       Arena::RawCell{snap.cells[i].payload,
+                                      static_cast<ValueKind>(snap.cells[i].kind)});
+    }
+  }
+}
+
+ckpt::MachineState Interpreter::machine_state() const {
+  ckpt::MachineState st;
+  st.arena_bytes = arena_.bytes_in_use();
+  st.num_frames = frames_.size();
+  for (const auto& f : frames_) {
+    st.total_regs += f.regs.size();
+    st.total_slots += f.slot_addr.size();
+  }
+  return st;
+}
+
+void Interpreter::on_header_evaluation() {
+  // Restore normally fires before the condition loads (see run()); this is
+  // the fallback for degenerate headers without loads.
+  if (opts_->restore && !restored_) {
+    apply_restore(*opts_->restore);
+    restored_ = true;
+    ++iteration_;
+    return;
+  }
+
+  ++iteration_;
+  const bool completed_an_iteration = iteration_ >= 2;
+
+  if (completed_an_iteration && opts_->on_machine_state) {
+    opts_->on_machine_state(machine_state());
+  }
+  const int interval = std::max(1, opts_->checkpoint_interval);
+  const bool interval_due = (iteration_ - 1) % interval == 0;
+  if (completed_an_iteration && interval_due && opts_->on_checkpoint &&
+      !opts_->protect.empty()) {
+    ckpt::CheckpointImage img = snapshot(opts_->protect);
+    img.set_iteration(iteration_ - 1);
+    opts_->on_checkpoint(img);
+  }
+  if (opts_->fail_at_iteration > 0 && iteration_ == opts_->fail_at_iteration) {
+    throw FailStop{iteration_};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Top-level run loop
+// ---------------------------------------------------------------------------
+
+RunResult Interpreter::run(const RunOptions& opts) {
+  opts_ = &opts;
+  result_ = RunResult{};
+  const ir::Function* main_fn = module_.find_function("main");
+  if (!main_fn) throw VmError("module has no main()");
+  if (main_fn->num_params != 0) throw VmError("main() must take no parameters");
+
+  emit_global_allocas();
+  push_frame(*main_fn, {}, {}, -1);
+
+  try {
+    while (!frames_.empty()) {
+      Frame& f = top();
+      AC_CHECK(f.pc >= 0 && f.pc < static_cast<int>(f.fn->instrs.size()),
+               "pc out of range in " + f.fn->name);
+      const ir::Instr& in = f.fn->instrs[static_cast<std::size_t>(f.pc)];
+
+      // Restart path: apply the checkpoint the first time execution reaches
+      // the loop header — after the (constant) loop-init store, but *before*
+      // the condition loads, so the restored induction value governs whether
+      // the loop body runs at all. This is the paper's "reading checkpoints
+      // ... right before the main computation loop" insertion point (§II-B).
+      if (opts_->restore && !restored_ && opts_->mcl && f.fn->name == opts_->mcl->function &&
+          in.line == opts_->mcl->begin_line && in.kind != ir::IKind::Store &&
+          in.kind != ir::IKind::Alloca) {
+        apply_restore(*opts_->restore);
+        restored_ = true;
+      }
+
+      ++f.pc;  // control-flow instructions overwrite pc below
+      exec_instr(in);
+    }
+  } catch (const FailStop& fs) {
+    result_.failed = true;
+    result_.iterations_started = fs.iteration - 1;
+  }
+  result_.peak_memory = std::max(result_.peak_memory, arena_.peak_bytes());
+  return result_;
+}
+
+RunResult run_module(const ir::Module& module, const RunOptions& opts) {
+  Interpreter interp(module);
+  return interp.run(opts);
+}
+
+}  // namespace ac::vm

@@ -1,0 +1,154 @@
+// The tracing interpreter: executes a mini-IR module and emits a dynamic
+// instruction execution trace in the LLVM-Tracer block format.
+//
+// Besides plain execution it provides the three capabilities the paper's
+// validation methodology needs (§VI-B):
+//   * main-computation-loop (MCL) iteration tracking — a conditional branch
+//     at the MCL header line delimits iterations;
+//   * checkpoint hook — at every iteration boundary the protected variables
+//     are snapshotted into a ckpt::CheckpointImage (the paper inserts FTI
+//     calls at the bottom of the loop; the boundary is the same program
+//     point);
+//   * fail-stop injection and restore-at-loop-entry — the paper raises
+//     SIGTERM inside the loop and restarts reading checkpoints right before
+//     the main loop.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/blcr.hpp"
+#include "ckpt/image.hpp"
+#include "ir/ir.hpp"
+#include "trace/writer.hpp"
+#include "vm/memory.hpp"
+
+namespace ac::vm {
+
+/// Identifies the main computation loop by host function + source line range
+/// (the MCLR column of Table II). begin_line must be the loop-header line.
+struct MclRegion {
+  std::string function = "main";
+  int begin_line = 0;
+  int end_line = 0;
+};
+
+/// Thrown (and caught internally by run()) when fail-stop injection fires.
+struct FailStop {
+  int iteration = 0;
+};
+
+struct RunOptions {
+  /// Trace output; nullptr = do not trace.
+  trace::TraceSink* sink = nullptr;
+
+  /// Loop instrumentation (checkpoint/failure/restore need this).
+  std::optional<MclRegion> mcl;
+
+  /// Variables to checkpoint at each iteration boundary: resolved against the
+  /// MCL host function's locals, then module globals.
+  std::vector<std::string> protect;
+
+  /// Called with a fresh image at the end of every `checkpoint_interval`-th
+  /// completed iteration (the paper's "periodically ... with a certain
+  /// interval", §II-B).
+  std::function<void(const ckpt::CheckpointImage&)> on_checkpoint;
+
+  /// Checkpoint every N completed iterations (N >= 1).
+  int checkpoint_interval = 1;
+
+  /// Called at every iteration boundary with the live machine state
+  /// (BLCR-style full-image cost measurements).
+  std::function<void(const ckpt::MachineState&)> on_machine_state;
+
+  /// Inject a fail-stop when this iteration is about to start (1-based);
+  /// -1 disables. The failure fires after iteration N-1's checkpoint.
+  int fail_at_iteration = -1;
+
+  /// Restore this image when execution first reaches the MCL header
+  /// (restart path). Variables resolve like `protect`.
+  const ckpt::CheckpointImage* restore = nullptr;
+
+  /// Runaway guard.
+  std::uint64_t max_steps = 2'000'000'000ull;
+};
+
+struct RunResult {
+  std::string output;           // concatenated print_int/print_float lines
+  std::int64_t exit_code = 0;   // main's return value
+  std::uint64_t steps = 0;      // dynamic instructions executed
+  std::uint64_t peak_memory = 0;
+  int iterations_started = 0;   // MCL header evaluations that entered the body
+  bool failed = false;          // fail-stop injection fired
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const ir::Module& module);
+
+  /// Execute main() to completion (or injected failure). Reusable only once.
+  RunResult run(const RunOptions& opts);
+
+ private:
+  struct Frame {
+    const ir::Function* fn = nullptr;
+    std::vector<std::uint64_t> slot_addr;
+    std::vector<Value> regs;
+    int pc = 0;
+    std::uint64_t stack_mark = 0;
+    int pending_dst = -1;  // caller-side register awaiting our Ret value
+  };
+
+  const ir::Module& module_;
+  Arena arena_;
+  std::vector<std::uint64_t> global_addr_;
+  std::vector<Frame> frames_;
+  const RunOptions* opts_ = nullptr;
+  RunResult result_;
+  std::uint64_t dyn_id_ = 0;
+  double timer_counter_ = 0.0;
+  int iteration_ = 0;      // completed header evaluations
+  bool restored_ = false;
+
+  Frame& top() { return frames_.back(); }
+
+  void emit(trace::TraceRecord rec);
+  void emit_global_allocas();
+
+  Value eval(const Frame& f, const ir::Opnd& o) const;
+  std::uint64_t slot_address(const Frame& f, int slot, bool is_global) const;
+  std::string opnd_reg_name(const ir::Opnd& o) const;
+  trace::Operand opnd_to_trace(const Frame& f, const ir::Opnd& o, int index) const;
+
+  void push_frame(const ir::Function& fn, const std::vector<Value>& args,
+                  const std::vector<std::string>& arg_names, int pending_dst);
+  void pop_frame(const Value* ret_value);
+
+  void exec_instr(const ir::Instr& in);
+  void exec_alloca(const ir::Instr& in);
+  void exec_load(const ir::Instr& in);
+  void exec_store(const ir::Instr& in);
+  void exec_gep(const ir::Instr& in);
+  void exec_bin(const ir::Instr& in);
+  void exec_cast(const ir::Instr& in);
+  void exec_br(const ir::Instr& in);
+  void exec_call(const ir::Instr& in);
+  void exec_ret(const ir::Instr& in);
+
+  Value run_builtin(const std::string& name, const std::vector<Value>& args, bool& has_result);
+
+  // MCL instrumentation at a conditional header-line branch.
+  void on_header_evaluation();
+  std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>>
+  resolve_protected(const std::vector<std::string>& names) const;  // name -> (addr, bytes)
+  ckpt::CheckpointImage snapshot(const std::vector<std::string>& names) const;
+  void apply_restore(const ckpt::CheckpointImage& img);
+  ckpt::MachineState machine_state() const;
+};
+
+/// Convenience: compile-free single-shot execution of a prepared module.
+RunResult run_module(const ir::Module& module, const RunOptions& opts);
+
+}  // namespace ac::vm

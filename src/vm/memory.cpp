@@ -1,0 +1,102 @@
+#include "vm/memory.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace ac::vm {
+
+std::size_t Arena::cell_index(std::uint64_t addr) const {
+  if (!valid(addr)) {
+    throw VmError(strf("invalid memory access at 0x%llx (allocated up to 0x%llx)",
+                       static_cast<unsigned long long>(addr),
+                       static_cast<unsigned long long>(top_)));
+  }
+  return static_cast<std::size_t>((addr - kBaseAddr) / kCellBytes);
+}
+
+std::uint64_t Arena::bump(std::uint64_t bytes) {
+  if (bytes == 0 || bytes % kCellBytes != 0) {
+    throw VmError("allocation size must be a positive multiple of 8");
+  }
+  const std::uint64_t addr = top_;
+  top_ += bytes;
+  if (top_ > peak_) peak_ = top_;
+  const std::size_t need = static_cast<std::size_t>((top_ - kBaseAddr) / kCellBytes);
+  if (payload_.size() < need) {
+    payload_.resize(need, 0);
+    kind_.resize(need, ValueKind::Int);
+  } else {
+    // Reused stack region: zero it so locals start deterministic.
+    const std::size_t first = static_cast<std::size_t>((addr - kBaseAddr) / kCellBytes);
+    for (std::size_t i = first; i < need; ++i) {
+      payload_[i] = 0;
+      kind_[i] = ValueKind::Int;
+    }
+  }
+  return addr;
+}
+
+std::uint64_t Arena::alloc_global(std::uint64_t bytes) {
+  AC_CHECK(!globals_sealed_, "globals must be allocated before any stack frame");
+  return bump(bytes);
+}
+
+std::uint64_t Arena::alloc_stack(std::uint64_t bytes) {
+  globals_sealed_ = true;
+  return bump(bytes);
+}
+
+void Arena::release_stack(std::uint64_t mark) {
+  AC_CHECK(mark >= kBaseAddr && mark <= top_, "bad stack release mark");
+  top_ = mark;
+}
+
+Value Arena::read(std::uint64_t addr) const {
+  const std::size_t i = cell_index(addr);
+  switch (kind_[i]) {
+    case ValueKind::Int: {
+      std::int64_t v;
+      std::memcpy(&v, &payload_[i], sizeof v);
+      return Value::make_int(v);
+    }
+    case ValueKind::Float: {
+      double v;
+      std::memcpy(&v, &payload_[i], sizeof v);
+      return Value::make_float(v);
+    }
+    case ValueKind::Addr:
+      return Value::make_addr(payload_[i]);
+  }
+  throw VmError("corrupt cell kind");
+}
+
+void Arena::write(std::uint64_t addr, const Value& v) {
+  const std::size_t i = cell_index(addr);
+  kind_[i] = v.kind;
+  switch (v.kind) {
+    case ValueKind::Int:
+      std::memcpy(&payload_[i], &v.i, sizeof v.i);
+      break;
+    case ValueKind::Float:
+      std::memcpy(&payload_[i], &v.f, sizeof v.f);
+      break;
+    case ValueKind::Addr:
+      payload_[i] = v.addr;
+      break;
+  }
+}
+
+Arena::RawCell Arena::read_raw(std::uint64_t addr) const {
+  const std::size_t i = cell_index(addr);
+  return RawCell{payload_[i], kind_[i]};
+}
+
+void Arena::write_raw(std::uint64_t addr, const RawCell& cell) {
+  const std::size_t i = cell_index(addr);
+  payload_[i] = cell.payload;
+  kind_[i] = cell.kind;
+}
+
+}  // namespace ac::vm

@@ -1,0 +1,191 @@
+// C/R substrate: image round-trips, CRC corruption detection, FtiLite
+// protocol, BLCR-style cost model.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "ckpt/blcr.hpp"
+#include "ckpt/ftilite.hpp"
+#include "ckpt/image.hpp"
+#include "support/error.hpp"
+#include "trace/reader.hpp"
+
+namespace ac::ckpt {
+namespace {
+
+CheckpointImage sample_image() {
+  CheckpointImage img;
+  img.set_iteration(7);
+  img.add("x", {{42, 0}, {43, 0}});
+  img.add("rho", {{0x3FF0000000000000ull, 1}});  // 1.0 as a Float cell
+  return img;
+}
+
+TEST(Image, SaveLoadRoundTrip) {
+  const std::string path = testing::TempDir() + "/ac_img_rt.fti";
+  const CheckpointImage img = sample_image();
+  img.save(path);
+  const CheckpointImage loaded = CheckpointImage::load(path);
+  EXPECT_EQ(loaded, img);
+  EXPECT_EQ(loaded.iteration(), 7);
+  ASSERT_NE(loaded.find("rho"), nullptr);
+  EXPECT_EQ(loaded.find("rho")->cells[0].kind, 1);
+  EXPECT_EQ(loaded.find("nope"), nullptr);
+}
+
+TEST(Image, ByteSizeCountsCellsAndNames) {
+  const CheckpointImage img = sample_image();
+  // "x": 1 + 8 + 2*9; "rho": 3 + 8 + 1*9.
+  EXPECT_EQ(img.byte_size(), (1u + 8 + 18) + (3u + 8 + 9));
+}
+
+TEST(Image, DetectsCorruption) {
+  const std::string path = testing::TempDir() + "/ac_img_corrupt.fti";
+  sample_image().save(path);
+  // Flip one payload byte in the middle of the file.
+  std::string data = trace::read_file_bytes(path);
+  data[data.size() / 2] ^= 0xFF;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  EXPECT_THROW(CheckpointImage::load(path), CheckpointError);
+}
+
+TEST(Image, DetectsTruncation) {
+  const std::string path = testing::TempDir() + "/ac_img_trunc.fti";
+  sample_image().save(path);
+  std::string data = trace::read_file_bytes(path);
+  data.resize(data.size() / 2);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  EXPECT_THROW(CheckpointImage::load(path), CheckpointError);
+}
+
+TEST(Image, RejectsBadMagicAndMissingFile) {
+  const std::string path = testing::TempDir() + "/ac_img_magic.fti";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("NOTACKPT-PADDING", 1, 16, f);
+  std::fclose(f);
+  EXPECT_THROW(CheckpointImage::load(path), CheckpointError);
+  EXPECT_THROW(CheckpointImage::load("/no/such/ckpt.fti"), CheckpointError);
+}
+
+TEST(FtiLiteStore, ProtocolRoundTrip) {
+  FtiLite fti(testing::TempDir(), "ac_fti_proto");
+  fti.reset();
+  EXPECT_FALSE(fti.has_checkpoint());
+  EXPECT_THROW(fti.recover(), CheckpointError);
+  EXPECT_EQ(fti.storage_bytes(), 0u);
+
+  fti.checkpoint(sample_image());
+  EXPECT_TRUE(fti.has_checkpoint());
+  EXPECT_GT(fti.storage_bytes(), 0u);
+  EXPECT_EQ(fti.recover(), sample_image());
+
+  // Later checkpoints replace earlier ones (latest-wins, like FTI L1).
+  CheckpointImage second = sample_image();
+  second.set_iteration(9);
+  fti.checkpoint(second);
+  EXPECT_EQ(fti.recover().iteration(), 9);
+
+  fti.reset();
+  EXPECT_FALSE(fti.has_checkpoint());
+}
+
+TEST(Blcr, FootprintAccountsForWholeMachine) {
+  MachineState st;
+  st.arena_bytes = 8000;
+  st.num_frames = 3;
+  st.total_regs = 100;
+  st.total_slots = 40;
+  const BlcrFootprint fp = BlcrSim::footprint(st);
+  EXPECT_EQ(fp.memory_bytes, 8000u + 1000u);
+  EXPECT_EQ(fp.machine_bytes, 100u * 9 + 40u * 8 + 3u * 24);
+  EXPECT_EQ(fp.process_bytes, kProcessImageBase);
+  EXPECT_EQ(fp.total(), fp.memory_bytes + fp.machine_bytes + kProcessImageBase);
+}
+
+TEST(Blcr, WritesImageOfExactSize) {
+  MachineState st;
+  st.arena_bytes = 4096;
+  st.num_frames = 1;
+  st.total_regs = 10;
+  st.total_slots = 5;
+  const std::string path = testing::TempDir() + "/ac_blcr.img";
+  const std::uint64_t written = BlcrSim::write_image(st, path);
+  EXPECT_EQ(written, BlcrSim::footprint(st).total());
+  EXPECT_EQ(trace::read_file_bytes(path).size(), written);
+}
+
+TEST(Blcr, DwarfsSelectiveCheckpoint) {
+  // The structural claim behind Table IV: a full image is much larger than a
+  // few protected variables.
+  MachineState st;
+  st.arena_bytes = 1 << 20;
+  const CheckpointImage img = sample_image();
+  EXPECT_GT(BlcrSim::footprint(st).total(), 1000 * img.byte_size());
+}
+
+}  // namespace
+}  // namespace ac::ckpt
+
+// -- Level 2 (partner replication) tests appended with the L2 feature --------
+
+namespace ac::ckpt {
+namespace {
+
+CheckpointImage l2_image() {
+  CheckpointImage img;
+  img.set_iteration(3);
+  img.add("u", {{1, 0}, {2, 0}, {3, 0}});
+  return img;
+}
+
+TEST(FtiLiteL2, ReplicatesToPartner) {
+  FtiLite fti(testing::TempDir(), testing::TempDir(), "ac_l2_repl");
+  fti.reset();
+  EXPECT_EQ(fti.level(), Level::L2);
+  fti.checkpoint(l2_image());
+  EXPECT_GT(fti.storage_bytes(), 0u);
+  EXPECT_EQ(fti.total_bytes(), 2 * fti.storage_bytes());
+  EXPECT_EQ(fti.recover(), l2_image());
+  fti.reset();
+}
+
+TEST(FtiLiteL2, RecoversFromPartnerWhenLocalLost) {
+  FtiLite fti(testing::TempDir(), testing::TempDir(), "ac_l2_lost");
+  fti.reset();
+  fti.checkpoint(l2_image());
+  std::remove(fti.path().c_str());  // the "node-local storage" is gone
+  EXPECT_TRUE(fti.has_checkpoint());
+  EXPECT_EQ(fti.recover(), l2_image());
+  fti.reset();
+}
+
+TEST(FtiLiteL2, RecoversFromPartnerWhenLocalCorrupt) {
+  FtiLite fti(testing::TempDir(), testing::TempDir(), "ac_l2_corrupt");
+  fti.reset();
+  fti.checkpoint(l2_image());
+  // Corrupt the local copy; the CRC check must route recovery to the partner.
+  std::FILE* f = std::fopen(fti.path().c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 10, SEEK_SET);
+  std::fputc(0xFF, f);
+  std::fclose(f);
+  EXPECT_EQ(fti.recover(), l2_image());
+  fti.reset();
+}
+
+TEST(FtiLiteL2, L1HasNoFallback) {
+  FtiLite fti(testing::TempDir(), "ac_l1_nofallback");
+  fti.reset();
+  EXPECT_EQ(fti.level(), Level::L1);
+  fti.checkpoint(l2_image());
+  std::remove(fti.path().c_str());
+  EXPECT_FALSE(fti.has_checkpoint());
+  EXPECT_THROW(fti.recover(), CheckpointError);
+}
+
+}  // namespace
+}  // namespace ac::ckpt

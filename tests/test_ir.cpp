@@ -1,0 +1,104 @@
+// IR container, printer and verifier checks.
+#include <gtest/gtest.h>
+
+#include "ir/ir.hpp"
+#include "minic/compiler.hpp"
+#include "support/error.hpp"
+
+namespace ac::ir {
+namespace {
+
+Module tiny_module() {
+  return minic::compile(R"(
+int add(int a, int b) { return a + b; }
+int main() {
+  int x = add(2, 3);
+  print_int(x);
+  return x;
+}
+)");
+}
+
+TEST(Ir, VarInfoFootprints) {
+  VarInfo scalar;
+  scalar.name = "s";
+  EXPECT_EQ(scalar.bytes(), 8);
+  EXPECT_FALSE(scalar.is_array());
+
+  VarInfo arr;
+  arr.name = "a";
+  arr.dims = {4, 5};
+  EXPECT_EQ(arr.elem_count(), 20);
+  EXPECT_EQ(arr.bytes(), 160);
+  EXPECT_TRUE(arr.is_array());
+
+  VarInfo ptr;
+  ptr.name = "p";
+  ptr.is_pointer_param = true;
+  ptr.dims = {};
+  EXPECT_EQ(ptr.bytes(), 8);  // the pointer cell, not the pointee
+}
+
+TEST(Ir, ModuleLookup) {
+  const Module m = tiny_module();
+  EXPECT_NE(m.find_function("main"), nullptr);
+  EXPECT_NE(m.find_function("add"), nullptr);
+  EXPECT_EQ(m.find_function("nope"), nullptr);
+  EXPECT_EQ(m.find_function("add")->num_params, 2);
+}
+
+TEST(Ir, PrinterMentionsEveryInstructionKind) {
+  const std::string text = print_module(tiny_module());
+  for (const char* needle : {"func main", "func add", "alloca", "load", "store", "call", "ret"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Verifier, AcceptsFrontendOutput) {
+  EXPECT_NO_THROW(verify_module(tiny_module()));
+}
+
+TEST(Verifier, RejectsBranchOutOfRange) {
+  Module m = tiny_module();
+  Function& f = m.functions[static_cast<std::size_t>(m.function_index["main"])];
+  Instr jmp;
+  jmp.kind = IKind::Jmp;
+  jmp.t_true = 100000;
+  f.instrs.insert(f.instrs.begin(), jmp);
+  EXPECT_THROW(verify_module(m), Error);
+}
+
+TEST(Verifier, RejectsUseBeforeDef) {
+  Module m = tiny_module();
+  Function& f = m.functions[static_cast<std::size_t>(m.function_index["main"])];
+  Instr bad;
+  bad.kind = IKind::Bin;
+  bad.bin = BinOp::Add;
+  bad.a = Opnd::make_reg(f.num_regs - 1);  // defined later, used first
+  bad.b = Opnd::imm_int(1);
+  bad.dst = f.num_regs++;
+  f.instrs.insert(f.instrs.begin(), bad);
+  EXPECT_THROW(verify_module(m), Error);
+}
+
+TEST(Verifier, RejectsBadSlot) {
+  Module m = tiny_module();
+  Function& f = m.functions[static_cast<std::size_t>(m.function_index["main"])];
+  Instr alloca;
+  alloca.kind = IKind::Alloca;
+  alloca.var_slot = 999;
+  f.instrs.insert(f.instrs.begin(), alloca);
+  EXPECT_THROW(verify_module(m), Error);
+}
+
+TEST(Verifier, RejectsMissingRet) {
+  Module m = tiny_module();
+  Function& f = m.functions[static_cast<std::size_t>(m.function_index["main"])];
+  // Drop every trailing Ret (codegen emits both the explicit return and an
+  // implicit fallthrough one).
+  while (!f.instrs.empty() && f.instrs.back().kind == IKind::Ret) f.instrs.pop_back();
+  EXPECT_THROW(verify_module(m), Error);
+}
+
+}  // namespace
+}  // namespace ac::ir

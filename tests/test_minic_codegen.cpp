@@ -1,0 +1,160 @@
+// Code generation details the analysis depends on: -O0 shape, alloca
+// hoisting, loop line attribution, scoping, conversions.
+#include <gtest/gtest.h>
+
+#include "minic/compiler.hpp"
+
+#include "helpers.hpp"
+
+namespace ac::minic {
+namespace {
+
+const ir::Function& main_of(const ir::Module& m) { return *m.find_function("main"); }
+
+TEST(Codegen, AllocasHoistedToEntry) {
+  const ir::Module m = compile(R"(
+int main() {
+  int a = 1;
+  if (a > 0) {
+    int b = 2;
+    print_int(b);
+  }
+  for (int i = 0; i < 2; i = i + 1) {
+    double c = 1.5;
+    print_float(c);
+  }
+  return a;
+}
+)");
+  const ir::Function& f = main_of(m);
+  // Every local (a, b, i, c) allocas before any non-alloca instruction.
+  std::size_t i = 0;
+  while (i < f.instrs.size() && f.instrs[i].kind == ir::IKind::Alloca) ++i;
+  EXPECT_EQ(i, 4u);
+  for (; i < f.instrs.size(); ++i) EXPECT_NE(f.instrs[i].kind, ir::IKind::Alloca);
+}
+
+TEST(Codegen, ForHeaderInstructionsCarryTheForLine) {
+  // Init store, condition and increment of a `for` all live on the `for`
+  // line — AutoCheck's iteration tracking and Index detection key on this.
+  const std::string src =
+      "int main() {\n"          // 1
+      "  int s = 0;\n"          // 2
+      "  for (int i = 0; i < 3; i = i + 1) {\n"  // 3
+      "    s = s + i;\n"        // 4
+      "  }\n"                   // 5
+      "  return s;\n"           // 6
+      "}\n";
+  const ir::Module m = compile(src);
+  const ir::Function& f = main_of(m);
+  int header_line_brs = 0;
+  int header_line_stores = 0;
+  for (const auto& in : f.instrs) {
+    if (in.line != 3) continue;
+    if (in.kind == ir::IKind::Br) ++header_line_brs;
+    if (in.kind == ir::IKind::Store) ++header_line_stores;
+  }
+  EXPECT_EQ(header_line_brs, 1);     // the condition branch
+  EXPECT_EQ(header_line_stores, 2);  // i = 0 and i = i + 1
+}
+
+TEST(Codegen, ScopedShadowingResolvesToDistinctSlots) {
+  const auto r = test::run_source(R"(
+int main() {
+  int v = 1;
+  {
+    int v = 10;
+    print_int(v);
+  }
+  print_int(v);
+  return 0;
+}
+)");
+  EXPECT_EQ(r.output, "10\n1\n");
+}
+
+TEST(Codegen, ForInitDeclScopesToLoop) {
+  // The same name can be reused by successive for-inits.
+  const auto r = test::run_source(R"(
+int main() {
+  int total = 0;
+  for (int i = 0; i < 3; i = i + 1) { total = total + 1; }
+  for (int i = 0; i < 4; i = i + 1) { total = total + 1; }
+  print_int(total);
+  return 0;
+}
+)");
+  EXPECT_EQ(r.output, "7\n");
+}
+
+TEST(Codegen, MixedTypeExpressionInsertsCasts) {
+  const ir::Module m = compile("int main() { int i = 3; double d = i * 1.5; return 0; }");
+  const ir::Function& f = main_of(m);
+  bool saw_sitofp = false;
+  for (const auto& in : f.instrs) {
+    saw_sitofp |= in.kind == ir::IKind::Cast && in.cast == ir::CastKind::SiToFp;
+  }
+  EXPECT_TRUE(saw_sitofp);
+}
+
+TEST(Codegen, CompoundAssignOnArrayElement) {
+  const auto r = test::run_source(R"(
+int main() {
+  int a[3];
+  a[1] = 10;
+  a[1] += 5;
+  a[1] *= 2;
+  print_int(a[1]);
+  return 0;
+}
+)");
+  EXPECT_EQ(r.output, "30\n");
+}
+
+TEST(Codegen, EagerLogicalOperators) {
+  // Documented semantics: both sides evaluate (no short-circuit).
+  const auto r = test::run_source(R"(
+int g;
+int bump() {
+  g = g + 1;
+  return 0;
+}
+int main() {
+  g = 0;
+  int x = 1 || bump();
+  int y = 0 && bump();
+  print_int(g);
+  print_int(x);
+  print_int(y);
+  return 0;
+}
+)");
+  EXPECT_EQ(r.output, "2\n1\n0\n");
+}
+
+TEST(Codegen, WhileConditionOnWhileLine) {
+  const std::string src =
+      "int main() {\n"      // 1
+      "  int n = 0;\n"      // 2
+      "  while (n < 5) {\n" // 3
+      "    n = n + 1;\n"    // 4
+      "  }\n"               // 5
+      "  return n;\n"       // 6
+      "}\n";
+  const ir::Module m = compile(src);
+  const ir::Function& f = main_of(m);
+  bool saw_header_br = false;
+  for (const auto& in : f.instrs) {
+    saw_header_br |= in.kind == ir::IKind::Br && in.line == 3;
+  }
+  EXPECT_TRUE(saw_header_br);
+}
+
+TEST(Codegen, NegativeLiteralsAndUnaryChains) {
+  const auto r = test::run_source(
+      "int main() { print_int(- -5); print_int(!!7); print_float(-0.5 * -4); return 0; }");
+  EXPECT_EQ(r.output, "5\n1\n2.000000\n");
+}
+
+}  // namespace
+}  // namespace ac::minic

@@ -1,0 +1,173 @@
+// MiniC lexer + parser + semantic-check coverage.
+#include <gtest/gtest.h>
+
+#include "minic/compiler.hpp"
+#include "minic/lexer.hpp"
+#include "minic/parser.hpp"
+#include "support/error.hpp"
+
+namespace ac::minic {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, TokensAndLines) {
+  auto toks = lex("int x;\n// comment\nx = 1.5e2;\n");
+  ASSERT_GE(toks.size(), 7u);
+  EXPECT_EQ(toks[0].kind, Tok::KwInt);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].kind, Tok::Ident);
+  EXPECT_EQ(toks[1].text, "x");
+  EXPECT_EQ(toks[3].kind, Tok::Ident);
+  EXPECT_EQ(toks[3].line, 3);  // line counting across the comment
+  EXPECT_EQ(toks[5].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(toks[5].float_val, 150.0);
+}
+
+TEST(Lexer, BlockCommentsPreserveLineNumbers) {
+  auto toks = lex("/* a\n b\n c */ int y;");
+  EXPECT_EQ(toks[0].kind, Tok::KwInt);
+  EXPECT_EQ(toks[0].line, 3);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  auto toks = lex("== != <= >= && || ++ -- += -= *= /=");
+  const Tok expected[] = {Tok::EQ, Tok::NE, Tok::LE, Tok::GE, Tok::AndAnd, Tok::OrOr,
+                          Tok::PlusPlus, Tok::MinusMinus, Tok::PlusAssign, Tok::MinusAssign,
+                          Tok::StarAssign, Tok::SlashAssign};
+  for (std::size_t i = 0; i < std::size(expected); ++i) EXPECT_EQ(toks[i].kind, expected[i]);
+}
+
+TEST(Lexer, RejectsInvalidChars) {
+  EXPECT_THROW(lex("int a @ b;"), CompileError);
+  EXPECT_THROW(lex("a & b"), CompileError);   // no bitwise-and
+  EXPECT_THROW(lex("/* open"), CompileError);  // unterminated comment
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+TEST(Parser, ProgramShape) {
+  Program p = parse(R"(
+double g[4][5];
+int helper(int a, double b[]) { return a; }
+int main() { return 0; }
+)");
+  ASSERT_EQ(p.globals.size(), 1u);
+  EXPECT_EQ(p.globals[0].name, "g");
+  EXPECT_EQ(p.globals[0].dims, (std::vector<std::int64_t>{4, 5}));
+  ASSERT_EQ(p.functions.size(), 2u);
+  EXPECT_EQ(p.functions[0].params.size(), 2u);
+  EXPECT_FALSE(p.functions[0].params[0].is_array);
+  EXPECT_TRUE(p.functions[0].params[1].is_array);
+}
+
+TEST(Parser, DesugarsCompoundAssignAndIncrement) {
+  Program p = parse("int main() { int x = 0; x += 2; x++; for (x = 0; x < 3; x++) {} return x; }");
+  // Smoke: the program compiles all the way down.
+  EXPECT_NO_THROW(compile("int main() { int x = 0; x += 2; x++; return x; }"));
+  (void)p;
+}
+
+TEST(Parser, OperatorPrecedence) {
+  // 2 + 3 * 4 == 14, (2 + 3) * 4 == 20, comparisons bind looser than +.
+  EXPECT_NO_THROW(parse("int main() { int a = 2 + 3 * 4 == 14; return a; }"));
+}
+
+TEST(Parser, SyntaxErrorsCarryLineNumbers) {
+  try {
+    parse("int main() {\n  int x = ;\n}\n");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsMalformedConstructs) {
+  EXPECT_THROW(parse("int main() { if x { } return 0; }"), CompileError);
+  EXPECT_THROW(parse("int main() { int a[0]; return 0; }"), CompileError);
+  EXPECT_THROW(parse("int main() { 3 = x; return 0; }"), CompileError);
+  EXPECT_THROW(parse("int main() { return 0; "), CompileError);  // unterminated block
+  EXPECT_THROW(parse("int main() { int a[2] = 1; return 0; }"), CompileError);
+}
+
+// ---------------------------------------------------------------------------
+// Semantic checks (reported by codegen)
+// ---------------------------------------------------------------------------
+
+TEST(Sema, UndeclaredIdentifier) {
+  EXPECT_THROW(compile("int main() { x = 1; return 0; }"), CompileError);
+}
+
+TEST(Sema, UnknownFunction) {
+  EXPECT_THROW(compile("int main() { nosuch(1); return 0; }"), CompileError);
+}
+
+TEST(Sema, ArityMismatch) {
+  EXPECT_THROW(compile("int f(int a) { return a; } int main() { return f(1, 2); }"),
+               CompileError);
+  EXPECT_THROW(compile("int main() { print_int(1, 2); return 0; }"), CompileError);
+}
+
+TEST(Sema, SubscriptArityChecked) {
+  EXPECT_THROW(compile("int a[2][2]; int main() { return a[1]; }"), CompileError);
+  EXPECT_THROW(compile("int x; int main() { return x[0]; }"), CompileError);
+}
+
+TEST(Sema, ArrayValueMisuse) {
+  EXPECT_THROW(compile("int a[2]; int main() { return a + 1; }"), CompileError);
+  EXPECT_THROW(compile("int a[2]; int main() { a = 1; return 0; }"), CompileError);
+}
+
+TEST(Sema, ArrayArgumentChecks) {
+  const char* takes_array = "int f(int v[]) { return v[0]; }";
+  EXPECT_THROW(compile(std::string(takes_array) + " int main() { int s; return f(s); }"),
+               CompileError);
+  EXPECT_THROW(compile(std::string(takes_array) + " double d[2]; int main() { return f(d); }"),
+               CompileError);
+}
+
+TEST(Sema, ModuloRequiresInts) {
+  EXPECT_THROW(compile("int main() { double d = 1.5; int x = d % 2; return x; }"), CompileError);
+}
+
+TEST(Sema, BreakOutsideLoop) {
+  EXPECT_THROW(compile("int main() { break; return 0; }"), CompileError);
+  EXPECT_THROW(compile("int main() { continue; return 0; }"), CompileError);
+}
+
+TEST(Sema, ReturnTypeChecks) {
+  EXPECT_THROW(compile("void f() { return 1; } int main() { f(); return 0; }"), CompileError);
+  EXPECT_THROW(compile("int f() { return; } int main() { return f(); }"), CompileError);
+}
+
+TEST(Sema, DuplicateDefinitions) {
+  EXPECT_THROW(compile("int main() { int a; int a; return 0; }"), CompileError);
+  EXPECT_THROW(compile("int g; int g; int main() { return 0; }"), CompileError);
+  EXPECT_THROW(compile("int f() { return 0; } int f() { return 1; } int main() { return 0; }"),
+               CompileError);
+  EXPECT_THROW(compile("int sqrt(int x) { return x; } int main() { return 0; }"), CompileError);
+}
+
+TEST(Sema, ShadowingInNestedScopesIsAllowed) {
+  EXPECT_NO_THROW(compile(R"(
+int main() {
+  int a = 1;
+  if (a > 0) {
+    int a = 2;
+    print_int(a);
+  }
+  return a;
+}
+)"));
+}
+
+TEST(Sema, MissingMain) {
+  EXPECT_THROW(compile("int f() { return 0; }"), CompileError);
+}
+
+}  // namespace
+}  // namespace ac::minic

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "trace/reader.hpp"
+#include "trace/record.hpp"
+#include "trace/writer.hpp"
+
+namespace ac::trace {
+namespace {
+
+TraceRecord sample_load() {
+  // The paper's Fig. 1 first block: a Load of variable p into register 8.
+  TraceRecord rec;
+  rec.line = 3;
+  rec.func = "foo";
+  rec.bb = "6:1";
+  rec.opcode = Opcode::Load;
+  rec.dyn_id = 215;
+  rec.operands.push_back(Operand::input(1, Value::make_addr(0x7ffcf3f25a70), true, "p"));
+  rec.operands.push_back(Operand::result(Value::make_int(4), "8"));
+  return rec;
+}
+
+TEST(Value, TextRoundTrip) {
+  EXPECT_EQ(value_to_text(Value::make_int(-12)), "-12");
+  EXPECT_EQ(value_to_text(Value::make_float(44.0)), "44.000000");
+  EXPECT_EQ(value_to_text(Value::make_addr(0x4009e0)), "0x4009e0");
+
+  EXPECT_TRUE(value_from_text("42").is_int());
+  EXPECT_TRUE(value_from_text("1936.000000").is_float());
+  EXPECT_TRUE(value_from_text("0x7ffec14b0db0").is_addr());
+  EXPECT_EQ(value_from_text("0x7ffec14b0db0").addr, 0x7ffec14b0db0ull);
+}
+
+TEST(Opcode, PaperNumbering) {
+  // Fig. 1/6 of the paper fix these LLVM 3.4 numbers.
+  EXPECT_EQ(static_cast<int>(Opcode::Load), 27);
+  EXPECT_EQ(static_cast<int>(Opcode::Store), 28);
+  EXPECT_EQ(static_cast<int>(Opcode::Alloca), 26);
+  EXPECT_EQ(static_cast<int>(Opcode::Call), 49);
+  EXPECT_EQ(static_cast<int>(Opcode::Mul), 12);
+  EXPECT_EQ(opcode_name(Opcode::Load), "Load");
+  EXPECT_EQ(opcode_name(Opcode::GetElementPtr), "GetElementPtr");
+}
+
+TEST(Opcode, ArithmeticSet) {
+  EXPECT_TRUE(is_arithmetic(Opcode::Mul));
+  EXPECT_TRUE(is_arithmetic(Opcode::FAdd));
+  EXPECT_TRUE(is_arithmetic(Opcode::ICmp));  // documented extension
+  EXPECT_FALSE(is_arithmetic(Opcode::Load));
+  EXPECT_FALSE(is_arithmetic(Opcode::Call));
+  EXPECT_FALSE(is_arithmetic(Opcode::Br));
+}
+
+TEST(Record, TextLayout) {
+  const std::string text = sample_load().to_text();
+  EXPECT_EQ(text, "0,3,foo,6:1,27,215\n1,64,0x7ffcf3f25a70,1,p\nr,64,4,1,8\n");
+}
+
+TEST(Record, RoundTripThroughParser) {
+  const TraceRecord rec = sample_load();
+  auto parsed = read_trace_text(rec.to_text());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].line, 3);
+  EXPECT_EQ(parsed[0].func, "foo");
+  EXPECT_EQ(parsed[0].opcode, Opcode::Load);
+  EXPECT_EQ(parsed[0].dyn_id, 215u);
+  ASSERT_EQ(parsed[0].operands.size(), 2u);
+  EXPECT_EQ(parsed[0].operands[0].name, "p");
+  EXPECT_TRUE(parsed[0].operands[0].value.is_addr());
+  EXPECT_EQ(parsed[0].operands[1].slot, OperandSlot::Result);
+}
+
+TEST(Record, CallFormOneLikeFig6a) {
+  // pow(44.0, 2.0) -> 1936.0 (Fig. 6(a)): callee row, two args, result row.
+  TraceRecord rec;
+  rec.line = 24;
+  rec.func = "main";
+  rec.bb = "24:0";
+  rec.opcode = Opcode::Call;
+  rec.dyn_id = 777;
+  rec.operands.push_back(Operand::callee("pow"));
+  rec.operands.push_back(Operand::input(1, Value::make_float(44.0), true, "36"));
+  rec.operands.push_back(Operand::input(2, Value::make_float(2.0), true, "37"));
+  rec.operands.push_back(Operand::result(Value::make_float(1936.0), "38"));
+
+  auto parsed = read_trace_text(rec.to_text());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_FALSE(parsed[0].is_call_with_body());
+  ASSERT_NE(parsed[0].find(OperandSlot::Callee), nullptr);
+  EXPECT_EQ(parsed[0].find(OperandSlot::Callee)->name, "pow");
+  EXPECT_DOUBLE_EQ(parsed[0].find(OperandSlot::Result)->value.f, 1936.0);
+}
+
+TEST(Record, CallFormTwoLikeFig6b) {
+  // foo(a, b): args then parameter-indicator rows binding p and q.
+  TraceRecord rec;
+  rec.line = 21;
+  rec.func = "main";
+  rec.bb = "21:1";
+  rec.opcode = Opcode::Call;
+  rec.dyn_id = 1993;
+  rec.operands.push_back(Operand::callee("foo"));
+  rec.operands.push_back(Operand::input(1, Value::make_addr(0x7ffec14b0db0), true, "6"));
+  rec.operands.push_back(Operand::input(2, Value::make_addr(0x7ffec14b0d80), true, "7"));
+  rec.operands.push_back(Operand::param(Value::make_addr(0x7ffec14b0db0), "p"));
+  rec.operands.push_back(Operand::param(Value::make_addr(0x7ffec14b0d80), "q"));
+
+  auto parsed = read_trace_text(rec.to_text());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_TRUE(parsed[0].is_call_with_body());
+  const auto params = parsed[0].params();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->name, "p");
+  EXPECT_EQ(params[1]->name, "q");
+}
+
+TEST(Record, MultiBlockStream) {
+  std::string text = sample_load().to_text();
+  TraceRecord mul;
+  mul.line = 3;
+  mul.func = "foo";
+  mul.bb = "6:1";
+  mul.opcode = Opcode::Mul;
+  mul.dyn_id = 216;
+  mul.operands.push_back(Operand::input(1, Value::make_int(2), true, "8"));
+  mul.operands.push_back(Operand::input(2, Value::make_int(2), false, ""));
+  mul.operands.push_back(Operand::result(Value::make_int(4), "9"));
+  text += mul.to_text();
+
+  auto parsed = read_trace_text(text);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[1].opcode, Opcode::Mul);
+  // Empty operand names serialize as a single space and parse back empty.
+  EXPECT_EQ(parsed[1].operands[1].name, "");
+}
+
+TEST(Record, RejectsBadHeader) {
+  EXPECT_THROW(read_trace_text("1,2,3\n"), TraceFormatError);
+  EXPECT_THROW(read_trace_text("0,3,foo,6:1,27\n"), TraceFormatError);   // short header
+  EXPECT_THROW(read_trace_text("0,3,foo,6:1,999,1\n"), TraceFormatError);  // bad opcode
+}
+
+TEST(Record, RejectsBadOperandLine) {
+  EXPECT_THROW(read_trace_text("0,3,foo,6:1,27,215\n1,64,0x1\n"), TraceFormatError);
+  EXPECT_THROW(read_trace_text("0,3,foo,6:1,27,215\n-2,64,5,0, \n"), TraceFormatError);
+}
+
+TEST(Record, SkipsBlankLines) {
+  const std::string text = "\n" + sample_load().to_text() + "\n\n" + sample_load().to_text();
+  EXPECT_EQ(read_trace_text(text).size(), 2u);
+}
+
+TEST(Sinks, MemorySinkCollects) {
+  MemorySink sink;
+  sink.append(sample_load());
+  sink.append(sample_load());
+  EXPECT_EQ(sink.count(), 2u);
+  EXPECT_EQ(sink.records().size(), 2u);
+}
+
+TEST(Sinks, NullSinkCounts) {
+  NullSink sink;
+  sink.append(sample_load());
+  EXPECT_EQ(sink.count(), 1u);
+}
+
+TEST(Sinks, FileSinkWritesParseableTrace) {
+  const std::string path = testing::TempDir() + "/ac_trace_roundtrip.txt";
+  {
+    FileSink sink(path);
+    for (int i = 0; i < 100; ++i) {
+      TraceRecord rec = sample_load();
+      rec.dyn_id = static_cast<std::uint64_t>(i);
+      sink.append(rec);
+    }
+    sink.close();
+    EXPECT_GT(sink.bytes(), 0u);
+    EXPECT_EQ(sink.count(), 100u);
+  }
+  auto parsed = read_trace_file(path);
+  ASSERT_EQ(parsed.size(), 100u);
+  EXPECT_EQ(parsed[99].dyn_id, 99u);
+}
+
+TEST(Sinks, FileSinkRejectsBadPath) {
+  EXPECT_THROW(FileSink("/nonexistent_dir_xyz/trace.txt"), Error);
+}
+
+}  // namespace
+}  // namespace ac::trace

@@ -1,0 +1,95 @@
+// Arena memory substrate: allocation, tagging, stack reuse, bounds.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "vm/memory.hpp"
+
+namespace ac::vm {
+namespace {
+
+TEST(Arena, GlobalsThenStack) {
+  Arena arena;
+  const auto g1 = arena.alloc_global(16);
+  const auto g2 = arena.alloc_global(8);
+  EXPECT_EQ(g1, kBaseAddr);
+  EXPECT_EQ(g2, kBaseAddr + 16);
+  const auto s1 = arena.alloc_stack(8);
+  EXPECT_EQ(s1, kBaseAddr + 24);
+  // Globals are sealed once a frame exists.
+  EXPECT_THROW(arena.alloc_global(8), Error);
+}
+
+TEST(Arena, ValueKindsRoundTrip) {
+  Arena arena;
+  const auto a = arena.alloc_global(24);
+  arena.write(a, Value::make_int(-7));
+  arena.write(a + 8, Value::make_float(2.5));
+  arena.write(a + 16, Value::make_addr(a));
+  EXPECT_TRUE(arena.read(a).is_int());
+  EXPECT_EQ(arena.read(a).i, -7);
+  EXPECT_TRUE(arena.read(a + 8).is_float());
+  EXPECT_DOUBLE_EQ(arena.read(a + 8).f, 2.5);
+  EXPECT_TRUE(arena.read(a + 16).is_addr());
+  EXPECT_EQ(arena.read(a + 16).addr, a);
+}
+
+TEST(Arena, ZeroInitialized) {
+  Arena arena;
+  const auto a = arena.alloc_global(16);
+  EXPECT_TRUE(arena.read(a).is_int());
+  EXPECT_EQ(arena.read(a).i, 0);
+  EXPECT_EQ(arena.read(a + 8).i, 0);
+}
+
+TEST(Arena, StackReleaseReusesAndRezeroes) {
+  Arena arena;
+  const auto mark = arena.stack_mark();
+  const auto s1 = arena.alloc_stack(8);
+  arena.write(s1, Value::make_int(99));
+  arena.release_stack(mark);
+  const auto s2 = arena.alloc_stack(8);
+  EXPECT_EQ(s1, s2);  // address reuse, like a real stack
+  EXPECT_EQ(arena.read(s2).i, 0);  // fresh frame memory is zeroed
+}
+
+TEST(Arena, BoundsChecked) {
+  Arena arena;
+  const auto a = arena.alloc_global(8);
+  EXPECT_THROW(arena.read(a + 8), VmError);           // past the end
+  EXPECT_THROW(arena.read(kBaseAddr - 8), VmError);   // below base
+  EXPECT_THROW(arena.read(a + 3), VmError);           // misaligned
+  EXPECT_THROW(arena.write(a + 64, Value::make_int(1)), VmError);
+}
+
+TEST(Arena, RejectsBadAllocationSizes) {
+  Arena arena;
+  EXPECT_THROW(arena.alloc_global(0), VmError);
+  EXPECT_THROW(arena.alloc_global(12), VmError);  // not a multiple of 8
+}
+
+TEST(Arena, UsageAndPeakTracking) {
+  Arena arena;
+  arena.alloc_global(64);
+  const auto mark = arena.stack_mark();
+  arena.alloc_stack(128);
+  EXPECT_EQ(arena.bytes_in_use(), 192u);
+  EXPECT_EQ(arena.peak_bytes(), 192u);
+  arena.release_stack(mark);
+  EXPECT_EQ(arena.bytes_in_use(), 64u);
+  EXPECT_EQ(arena.peak_bytes(), 192u);  // peak persists
+}
+
+TEST(Arena, RawCellsPreserveKind) {
+  Arena arena;
+  const auto a = arena.alloc_global(8);
+  arena.write(a, Value::make_float(1.25));
+  const Arena::RawCell cell = arena.read_raw(a);
+  Arena other;
+  const auto b = other.alloc_global(8);
+  other.write_raw(b, cell);
+  EXPECT_TRUE(other.read(b).is_float());
+  EXPECT_DOUBLE_EQ(other.read(b).f, 1.25);
+}
+
+}  // namespace
+}  // namespace ac::vm

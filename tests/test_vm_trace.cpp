@@ -1,0 +1,203 @@
+// The VM's emitted trace must follow the LLVM-Tracer block conventions the
+// paper's figures document: -O0 Load/Store shapes, Alloca records with the
+// variable name on the result row, both Call forms of Fig. 6, and
+// argument-binding stores inside callees.
+#include <gtest/gtest.h>
+
+#include "trace/reader.hpp"
+#include "trace/writer.hpp"
+#include "vm/interp.hpp"
+
+#include "helpers.hpp"
+
+namespace ac::vm {
+namespace {
+
+using trace::MemorySink;
+using trace::Opcode;
+using trace::OperandSlot;
+using trace::TraceRecord;
+
+std::vector<TraceRecord> trace_of(const std::string& src) {
+  MemorySink sink;
+  test::run_source(src, &sink);
+  return std::move(sink.records());
+}
+
+std::vector<const TraceRecord*> by_opcode(const std::vector<TraceRecord>& recs, Opcode op) {
+  std::vector<const TraceRecord*> out;
+  for (const auto& r : recs) {
+    if (r.opcode == op) out.push_back(&r);
+  }
+  return out;
+}
+
+TEST(VmTrace, DynIdsAreSequential) {
+  auto recs = trace_of("int main() { int x = 1; print_int(x); return 0; }");
+  for (std::size_t i = 0; i < recs.size(); ++i) EXPECT_EQ(recs[i].dyn_id, i);
+}
+
+TEST(VmTrace, GlobalAllocasComeFirst) {
+  auto recs = trace_of("int g1; double g2[4]; int main() { return 0; }");
+  ASSERT_GE(recs.size(), 2u);
+  EXPECT_EQ(recs[0].opcode, Opcode::Alloca);
+  EXPECT_EQ(recs[0].func, "<global>");
+  EXPECT_EQ(recs[0].find(OperandSlot::Result)->name, "g1");
+  EXPECT_EQ(recs[1].find(OperandSlot::Result)->name, "g2");
+  // Size operand carries the byte footprint (4 * 8 for g2).
+  EXPECT_EQ(recs[1].input(1)->value.as_i64(), 32);
+}
+
+TEST(VmTrace, AllocaCarriesNameAndAddress) {
+  auto recs = trace_of("int main() { int sum = 0; print_int(sum); return 0; }");
+  auto allocas = by_opcode(recs, Opcode::Alloca);
+  ASSERT_EQ(allocas.size(), 1u);
+  const auto* result = allocas[0]->find(OperandSlot::Result);
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->name, "sum");
+  EXPECT_TRUE(result->value.is_addr());
+}
+
+TEST(VmTrace, LoadStoreShape) {
+  auto recs = trace_of("int main() { int x = 5; int y = x; print_int(y); return 0; }");
+  auto loads = by_opcode(recs, Opcode::Load);
+  ASSERT_GE(loads.size(), 1u);
+  // Load: pointer operand named after the variable, result row is a register.
+  EXPECT_EQ(loads[0]->input(1)->name, "x");
+  EXPECT_TRUE(loads[0]->input(1)->value.is_addr());
+  EXPECT_EQ(loads[0]->find(OperandSlot::Result)->value.as_i64(), 5);
+
+  auto stores = by_opcode(recs, Opcode::Store);
+  ASSERT_GE(stores.size(), 2u);
+  // First store: immediate 5 into x.
+  EXPECT_EQ(stores[0]->input(1)->value.as_i64(), 5);
+  EXPECT_FALSE(stores[0]->input(1)->is_reg);
+  EXPECT_EQ(stores[0]->input(2)->name, "x");
+}
+
+TEST(VmTrace, ArrayAccessGoesThroughGep) {
+  auto recs = trace_of("int main() { int a[8]; a[3] = 9; print_int(a[3]); return 0; }");
+  auto geps = by_opcode(recs, Opcode::GetElementPtr);
+  ASSERT_EQ(geps.size(), 2u);  // one for the store, one for the load
+  EXPECT_EQ(geps[0]->input(1)->name, "a");
+  EXPECT_EQ(geps[0]->input(2)->value.as_i64(), 3);
+  // The GEP result address is base + 3*8.
+  EXPECT_EQ(geps[0]->find(OperandSlot::Result)->value.addr,
+            geps[0]->input(1)->value.addr + 24);
+}
+
+TEST(VmTrace, BuiltinCallIsFormOne) {
+  auto recs = trace_of("int main() { double r = pow(2.0, 3.0); print_float(r); return 0; }");
+  auto calls = by_opcode(recs, Opcode::Call);
+  const TraceRecord* pow_call = nullptr;
+  for (const auto* c : calls) {
+    if (c->find(OperandSlot::Callee)->name == "pow") pow_call = c;
+  }
+  ASSERT_NE(pow_call, nullptr);
+  EXPECT_FALSE(pow_call->is_call_with_body());
+  EXPECT_DOUBLE_EQ(pow_call->input(1)->value.f, 2.0);
+  EXPECT_DOUBLE_EQ(pow_call->input(2)->value.f, 3.0);
+  EXPECT_DOUBLE_EQ(pow_call->find(OperandSlot::Result)->value.f, 8.0);
+}
+
+TEST(VmTrace, UserCallIsFormTwoWithParamRows) {
+  const std::string src = R"(
+void foo(int p[], int q[]) {
+  q[0] = p[0];
+}
+int main() {
+  int a[2];
+  int b[2];
+  a[0] = 7;
+  foo(a, b);
+  print_int(b[0]);
+  return 0;
+}
+)";
+  auto recs = trace_of(src);
+  auto calls = by_opcode(recs, Opcode::Call);
+  const TraceRecord* foo_call = nullptr;
+  std::size_t foo_index = 0;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    if (recs[i].opcode == Opcode::Call &&
+        recs[i].find(OperandSlot::Callee)->name == "foo") {
+      foo_call = &recs[i];
+      foo_index = i;
+    }
+  }
+  ASSERT_NE(foo_call, nullptr);
+  EXPECT_TRUE(foo_call->is_call_with_body());
+
+  // Fig. 6(b): argument rows carry the addresses; the parameter-indicator
+  // rows bind the same addresses to parameter names p and q.
+  const auto params = foo_call->params();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->name, "p");
+  EXPECT_EQ(params[1]->name, "q");
+  EXPECT_EQ(params[0]->value.addr, foo_call->input(1)->value.addr);
+
+  // The record after the Call executes inside foo (its body follows).
+  ASSERT_LT(foo_index + 1, recs.size());
+  EXPECT_EQ(recs[foo_index + 1].func, "foo");
+
+  // Inside foo, the parameter-binding stores use register names arg1/arg2.
+  bool saw_arg_binding = false;
+  for (std::size_t i = foo_index + 1; i < recs.size(); ++i) {
+    const auto& r = recs[i];
+    if (r.opcode == Opcode::Store && r.func == "foo" && r.input(1)->name == "arg1") {
+      EXPECT_EQ(r.input(2)->name, "p");
+      saw_arg_binding = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_arg_binding);
+}
+
+TEST(VmTrace, RetRecordsCarryValue) {
+  auto recs = trace_of("int f() { return 5; } int main() { print_int(f()); return 0; }");
+  auto rets = by_opcode(recs, Opcode::Ret);
+  ASSERT_EQ(rets.size(), 2u);  // f's and main's
+  EXPECT_EQ(rets[0]->func, "f");
+  EXPECT_EQ(rets[0]->input(1)->value.as_i64(), 5);
+}
+
+TEST(VmTrace, ConditionalBranchHasCondOperand) {
+  auto recs = trace_of("int main() { int s = 0; for (int i = 0; i < 2; i = i + 1) { s = s + 1; } print_int(s); return 0; }");
+  int cond_br = 0, plain_br = 0;
+  for (const auto& r : recs) {
+    if (r.opcode != Opcode::Br) continue;
+    if (r.input(1)) ++cond_br; else ++plain_br;
+  }
+  EXPECT_EQ(cond_br, 3);  // i=0,1 enter; i=2 exits
+  EXPECT_GE(plain_br, 2);  // back edges
+}
+
+TEST(VmTrace, TraceTextRoundTripsThroughParser) {
+  const std::string src = R"(
+double g[4];
+double avg(double v[], int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i = i + 1) { s = s + v[i]; }
+  return s / n;
+}
+int main() {
+  for (int i = 0; i < 4; i = i + 1) { g[i] = i * 1.5; }
+  print_float(avg(g, 4));
+  return 0;
+}
+)";
+  auto recs = trace_of(src);
+  std::string text;
+  for (const auto& r : recs) text += r.to_text();
+  auto parsed = trace::read_trace_text(text);
+  ASSERT_EQ(parsed.size(), recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(parsed[i].opcode, recs[i].opcode);
+    EXPECT_EQ(parsed[i].func, recs[i].func);
+    EXPECT_EQ(parsed[i].line, recs[i].line);
+    EXPECT_EQ(parsed[i].operands.size(), recs[i].operands.size());
+  }
+}
+
+}  // namespace
+}  // namespace ac::vm
