@@ -1,10 +1,12 @@
-// End-to-end Checkpoint/Restart demonstration (paper §VI-B): run HPCCG,
-// checkpoint the AutoCheck-identified variables with FtiLite every iteration,
-// inject a fail-stop mid-loop, then restart from the last checkpoint and show
-// that the final output matches the failure-free execution — and that
-// restarting *without* a protected variable diverges.
+// End-to-end Checkpoint/Restart demonstration (paper §VI-B) through the
+// CheckpointEngine: run HPCCG, register the AutoCheck-identified variables
+// with the engine (the paper's Protect()-emission story), checkpoint
+// incrementally with asynchronous multi-level writeback, inject a fail-stop
+// mid-loop, then restart from the recovered image and show that the final
+// output matches the failure-free execution — and that restarting *without*
+// a protected variable diverges.
 //
-// Build & run:  ./examples/failure_recovery
+// Build & run:  ./example_failure_recovery
 #include <cstdio>
 
 #include "apps/harness.hpp"
@@ -14,22 +16,38 @@ int main() {
   const ac::apps::App& app = ac::apps::find_app("HPCCG");
   const ac::apps::AnalysisRun run = ac::apps::analyze_app(app);
 
-  std::printf("=== HPCCG failure/recovery walkthrough ===\n\n");
+  std::printf("=== HPCCG failure/recovery walkthrough (CheckpointEngine) ===\n\n");
   std::printf("AutoCheck identified %zu variables to checkpoint: %s\n\n",
               run.report.verdicts.critical.size(),
               ac::join(run.report.critical_names(), ", ").c_str());
 
+  // The engine consumes the analysis report directly — the same names could
+  // come from the report's to_json() output via register_report_json().
+  ac::ckpt::EngineConfig cfg;
+  cfg.dir = "/tmp/ac_example";
+  cfg.partner_dir = "/tmp/ac_example_partner";
+  cfg.tag = "example_hpccg_engine";
+  cfg.level = ac::ckpt::EngineLevel::L2;  // local file + partner replica
+  cfg.incremental = true;                 // deltas of dirty cells only
+  cfg.async = true;                       // background writeback
+
   const int fail_at = 5;
-  const auto v = ac::apps::validate_cr(run.module, run.region, run.report.critical_names(),
-                                       fail_at, "/tmp", "example_hpccg");
+  const auto v = ac::apps::validate_cr_engine(run.module, run.region,
+                                              run.report.critical_names(), fail_at, cfg);
 
   std::printf("1. Failure-free run output:\n%s\n", v.reference_output.c_str());
-  std::printf("2. Run with a fail-stop injected at iteration %d — %d checkpoints were\n"
-              "   written; the last closed iteration %lld.\n\n",
-              fail_at, v.checkpoints_written,
-              static_cast<long long>(v.last_checkpoint_iteration));
-  std::printf("3. Restart (initialization re-executes, then the checkpoint is restored\n"
-              "   right before the main loop) output:\n%s\n", v.restart_output.c_str());
+  std::printf("2. Run with a fail-stop injected at iteration %d — the engine committed\n"
+              "   %lld checkpoints (%lld full + %lld incremental), %s to local storage;\n"
+              "   an equivalent all-full stream would have been %s.\n\n",
+              fail_at, static_cast<long long>(v.stats.checkpoints),
+              static_cast<long long>(v.stats.full_checkpoints),
+              static_cast<long long>(v.stats.delta_checkpoints),
+              ac::human_bytes(v.stats.l1_bytes).c_str(),
+              ac::human_bytes(v.stats.full_equiv_bytes).c_str());
+  std::printf("3. Restart (initialization re-executes, then the recovered image — base\n"
+              "   plus delta chain, iteration %lld — is restored right before the main\n"
+              "   loop) output:\n%s\n",
+              static_cast<long long>(v.recovered_iteration), v.restart_output.c_str());
   std::printf("=> restart %s the failure-free output\n\n",
               v.restart_matches ? "REPRODUCES" : "DIVERGES FROM");
 
@@ -38,8 +56,10 @@ int main() {
   for (const auto& n : run.report.critical_names()) {
     if (n != "x") without_x.push_back(n);
   }
-  const auto broken = ac::apps::validate_cr(run.module, run.region, without_x, fail_at, "/tmp",
-                                            "example_hpccg_without_x");
+  ac::ckpt::EngineConfig broken_cfg = cfg;
+  broken_cfg.tag = "example_hpccg_engine_without_x";
+  const auto broken =
+      ac::apps::validate_cr_engine(run.module, run.region, without_x, fail_at, broken_cfg);
   std::printf("Negative control — restart without checkpointing x:\n%s\n",
               broken.restart_output.c_str());
   std::printf("=> %s (as expected: x carries Write-After-Read state)\n",

@@ -155,6 +155,84 @@ ValidationResult validate_app(const App& app, const Params& params, int fail_at,
                      app.name);
 }
 
+EngineRunResult run_with_engine(const ir::Module& module, const analysis::MclRegion& region,
+                                const std::vector<std::string>& protect,
+                                const ckpt::EngineConfig& cfg, int fail_at) {
+  ckpt::CheckpointEngine engine(cfg);
+  for (const auto& name : protect) engine.protect(name);
+
+  vm::RunOptions ropts;
+  ropts.mcl = to_vm_region(region);
+  ropts.engine = &engine;
+  ropts.fail_at_iteration = fail_at;
+
+  EngineRunResult out;
+  out.run = vm::run_module(module, ropts);
+  engine.flush();
+  out.stats = engine.stats();
+  return out;
+}
+
+EngineValidationResult validate_cr_engine(const ir::Module& module,
+                                          const analysis::MclRegion& region,
+                                          const std::vector<std::string>& protect, int fail_at,
+                                          const ckpt::EngineConfig& cfg) {
+  EngineValidationResult out;
+
+  // Failure-free reference run.
+  {
+    vm::RunOptions ropts;
+    const vm::RunResult ref = vm::run_module(module, ropts);
+    out.reference_output = ref.output;
+  }
+
+  // Failing run with the engine attached. Scope the engine so its writer
+  // thread is gone before the restart — the "process" died.
+  {
+    ckpt::CheckpointEngine engine(cfg);
+    engine.reset();
+    for (const auto& name : protect) engine.protect(name);
+
+    vm::RunOptions ropts;
+    ropts.mcl = to_vm_region(region);
+    ropts.engine = &engine;
+    ropts.fail_at_iteration = fail_at;
+    const vm::RunResult failed = vm::run_module(module, ropts);
+    engine.flush();
+    out.stats = engine.stats();
+    if (!failed.failed) {
+      throw Error("validate_cr_engine: failure injection did not fire "
+                  "(fail_at beyond the loop's iteration count?)");
+    }
+  }
+
+  // Restart "process": a fresh engine over the same storage recovers the
+  // latest durable state, which the VM applies right before the main loop.
+  {
+    ckpt::CheckpointEngine engine(cfg);
+    if (!engine.has_checkpoint()) throw Error("validate_cr_engine: no checkpoint was written");
+    const ckpt::CheckpointImage img = engine.recover();
+    out.recovered_iteration = img.iteration();
+    vm::RunOptions ropts;
+    ropts.mcl = to_vm_region(region);
+    ropts.restore = &img;
+    const vm::RunResult restarted = vm::run_module(module, ropts);
+    out.restart_output = restarted.output;
+  }
+
+  out.restart_matches = out.restart_output == out.reference_output;
+  return out;
+}
+
+EngineValidationResult validate_app_engine(const App& app, const Params& params, int fail_at,
+                                           const ckpt::EngineConfig& cfg) {
+  AnalysisRun run = analyze_app(app, params);
+  ckpt::EngineConfig tagged = cfg;
+  if (tagged.tag == "engine") tagged.tag = app.name + "_engine";
+  return validate_cr_engine(run.module, run.region, run.report.critical_names(), fail_at,
+                            tagged);
+}
+
 StorageResult measure_storage(const App& app, const Params& params,
                               const std::vector<std::string>& protect,
                               const std::string& work_dir) {

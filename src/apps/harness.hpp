@@ -13,6 +13,7 @@
 #include "analysis/autocheck.hpp"
 #include "apps/app.hpp"
 #include "ckpt/blcr.hpp"
+#include "ckpt/engine.hpp"
 #include "vm/interp.hpp"
 
 namespace ac::apps {
@@ -76,6 +77,39 @@ ValidationResult validate_cr(const ir::Module& module, const analysis::MclRegion
 /// Convenience: run validate_cr with the AutoCheck-identified set.
 ValidationResult validate_app(const App& app, const Params& params, int fail_at,
                               const std::string& work_dir);
+
+/// C/R validation through the CheckpointEngine: run with the engine attached
+/// (policy-driven cadence, optional incremental/multi-level/async), inject a
+/// fail-stop, restart from engine.recover(), and diff final outputs against a
+/// failure-free execution.
+struct EngineValidationResult {
+  bool restart_matches = false;
+  std::string reference_output;
+  std::string restart_output;
+  std::int64_t recovered_iteration = -1;  // iteration of the recovered image
+  ckpt::EngineStats stats;                // from the failing run
+};
+
+EngineValidationResult validate_cr_engine(const ir::Module& module,
+                                          const analysis::MclRegion& region,
+                                          const std::vector<std::string>& protect, int fail_at,
+                                          const ckpt::EngineConfig& cfg);
+
+/// Convenience: analyze `app` and validate the AutoCheck-identified set
+/// through the engine.
+EngineValidationResult validate_app_engine(const App& app, const Params& params, int fail_at,
+                                           const ckpt::EngineConfig& cfg);
+
+/// Run a module once with an engine attached (no fault injection unless
+/// fail_at > 0); returns the run result and the engine's storage stats.
+struct EngineRunResult {
+  vm::RunResult run;
+  ckpt::EngineStats stats;
+};
+
+EngineRunResult run_with_engine(const ir::Module& module, const analysis::MclRegion& region,
+                                const std::vector<std::string>& protect,
+                                const ckpt::EngineConfig& cfg, int fail_at = -1);
 
 /// Table IV storage measurement: the BLCR-style full-machine image versus the
 /// FtiLite image of the protected variables, both at the loop's widest state.

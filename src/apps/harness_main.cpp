@@ -1,0 +1,183 @@
+// The experiment harness CLI: compile + trace + analyze a mini-app, then
+// exercise the checkpoint/restart path end-to-end with fault injection.
+//
+//   harness <APP|all> [--ckpt-engine] [--fail-at-iter N] [options]
+//
+// Default C/R path is the legacy per-iteration FtiLite validation
+// (validate_cr); --ckpt-engine switches to the CheckpointEngine runtime:
+// report-driven registration, policy-driven cadence, incremental deltas,
+// multi-level storage and asynchronous writeback.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/harness.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: harness <APP|all> [options]\n"
+               "  --ckpt-engine        validate C/R through the CheckpointEngine\n"
+               "  --fail-at-iter N     inject a fail-stop at iteration N (default 5)\n"
+               "  --dir DIR            checkpoint directory (default /tmp)\n"
+               "  --partner-dir DIR    L2 replica directory (default <dir>/partner)\n"
+               "  --level 1|2|3        storage level: local/partner/archive (default 1)\n"
+               "  --full-only          disable incremental deltas (every commit full)\n"
+               "  --full-every N       full base image every N commits (default 8)\n"
+               "  --sync               synchronous writeback (default: async)\n"
+               "  --policy P           fixed:N | young:MTBF_S | daly:MTBF_S (default fixed:1)\n"
+               "  --interval N         legacy path: checkpoint every N iterations\n"
+               "apps: all");
+  for (const auto& app : ac::apps::registry()) std::fprintf(stderr, ", %s", app.name.c_str());
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+std::shared_ptr<ac::ckpt::IntervalPolicy> parse_policy(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string arg = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (kind == "fixed") {
+    return std::make_shared<ac::ckpt::FixedIntervalPolicy>(arg.empty() ? 1 : std::atoll(arg.c_str()));
+  }
+  if (kind == "young" || kind == "daly") {
+    const double mtbf = arg.empty() ? 60.0 : std::atof(arg.c_str());
+    return std::make_shared<ac::ckpt::YoungDalyPolicy>(
+        mtbf, kind == "young" ? ac::ckpt::YoungDalyPolicy::Order::Young
+                              : ac::ckpt::YoungDalyPolicy::Order::Daly);
+  }
+  throw ac::Error("unknown policy spec: " + spec + " (want fixed:N, young:M or daly:M)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string app_arg = argv[1];
+
+  bool use_engine = false;
+  int fail_at = 5;
+  int interval = 1;
+  ac::ckpt::EngineConfig cfg;
+  cfg.dir = "/tmp";
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--ckpt-engine") {
+      use_engine = true;
+    } else if (arg == "--fail-at-iter") {
+      fail_at = std::atoi(next());
+    } else if (arg == "--dir") {
+      cfg.dir = next();
+    } else if (arg == "--partner-dir") {
+      cfg.partner_dir = next();
+    } else if (arg == "--level") {
+      const int level = std::atoi(next());
+      if (level < 1 || level > 3) return usage();
+      cfg.level = static_cast<ac::ckpt::EngineLevel>(level);
+    } else if (arg == "--full-only") {
+      cfg.incremental = false;
+    } else if (arg == "--full-every") {
+      cfg.full_every = std::atoi(next());
+    } else if (arg == "--sync") {
+      cfg.async = false;
+    } else if (arg == "--policy") {
+      try {
+        cfg.policy = parse_policy(next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "harness: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--interval") {
+      interval = std::atoi(next());
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (cfg.level >= ac::ckpt::EngineLevel::L2 && cfg.partner_dir.empty()) {
+    cfg.partner_dir = cfg.dir + "/partner";  // a replica needs its own directory
+  }
+  if (fail_at < 2) {
+    std::fprintf(stderr, "harness: --fail-at-iter must be >= 2 (a checkpoint must exist)\n");
+    return 2;
+  }
+
+  std::vector<ac::apps::App> apps;
+  try {
+    if (app_arg == "all") {
+      apps = ac::apps::registry();
+    } else {
+      apps.push_back(ac::apps::find_app(app_arg));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "harness: %s\n", e.what());
+    return usage();
+  }
+
+  std::printf("=== C/R harness: %s path, fail-stop at iteration %d ===\n\n",
+              use_engine ? "CheckpointEngine" : "legacy FtiLite", fail_at);
+  ac::TextTable table(use_engine
+                          ? std::vector<std::string>{"App", "#Crit", "Ckpts (full+delta)",
+                                                     "Bytes", "vs full", "Recovered@", "Restart"}
+                          : std::vector<std::string>{"App", "#Crit", "Ckpts", "Recovered@",
+                                                     "Restart"});
+
+  int failures = 0;
+  for (const auto& app : apps) {
+    try {
+      const ac::apps::AnalysisRun run = ac::apps::analyze_app(app);
+      const auto protect = run.report.critical_names();
+      if (use_engine) {
+        ac::ckpt::EngineConfig app_cfg = cfg;
+        app_cfg.tag = app.name + "_harness";
+        const auto v = ac::apps::validate_cr_engine(run.module, run.region, protect, fail_at,
+                                                    app_cfg);
+        if (!v.restart_matches) ++failures;
+        const double ratio = v.stats.l1_bytes
+                                 ? static_cast<double>(v.stats.full_equiv_bytes) /
+                                       static_cast<double>(v.stats.l1_bytes)
+                                 : 0.0;
+        table.add_row({app.name, ac::strf("%zu", protect.size()),
+                       ac::strf("%lld (%lld+%lld)", static_cast<long long>(v.stats.checkpoints),
+                                static_cast<long long>(v.stats.full_checkpoints),
+                                static_cast<long long>(v.stats.delta_checkpoints)),
+                       ac::human_bytes(v.stats.l1_bytes), ac::strf("%.1fx smaller", ratio),
+                       ac::strf("%lld", static_cast<long long>(v.recovered_iteration)),
+                       v.restart_matches ? "MATCH" : "DIVERGED"});
+      } else {
+        const auto v = ac::apps::validate_cr(run.module, run.region, protect, fail_at, cfg.dir,
+                                             app.name + "_harness", interval);
+        if (!v.restart_matches) ++failures;
+        table.add_row({app.name, ac::strf("%zu", protect.size()),
+                       ac::strf("%d", v.checkpoints_written),
+                       ac::strf("%lld", static_cast<long long>(v.last_checkpoint_iteration)),
+                       v.restart_matches ? "MATCH" : "DIVERGED"});
+      }
+    } catch (const std::exception& e) {
+      ++failures;
+      std::fprintf(stderr, "harness: %s: %s\n", app.name.c_str(), e.what());
+    }
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  if (failures) {
+    std::printf("%d app(s) FAILED to recover\n", failures);
+    return 1;
+  }
+  std::printf("all %zu app(s) recovered to the failure-free output\n", apps.size());
+  return 0;
+}

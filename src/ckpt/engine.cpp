@@ -1,0 +1,698 @@
+#include "ckpt/engine.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sys/stat.h>
+
+#include "analysis/autocheck.hpp"
+#include "support/crc32.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "vm/memory.hpp"
+
+namespace ac::ckpt {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'C', 'E', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+  std::uint32_t u32() { return read<std::uint32_t>(); }
+  std::uint64_t u64() { return read<std::uint64_t>(); }
+  std::uint8_t u8() { return read<std::uint8_t>(); }
+  std::string str(std::size_t n) {
+    need(n);
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+
+  void need(std::size_t n) {
+    if (pos_ + n > data_.size()) throw CheckpointError("truncated engine record");
+  }
+  template <typename T>
+  T read() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+};
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw CheckpointError("cannot open: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string data(size > 0 ? static_cast<std::size_t>(size) : 0, '\0');
+  if (size > 0 && std::fread(data.data(), 1, data.size(), f) != data.size()) {
+    std::fclose(f);
+    throw CheckpointError("short read: " + path);
+  }
+  std::fclose(f);
+  return data;
+}
+
+void write_file(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw CheckpointError("cannot write: " + path);
+  bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) throw CheckpointError("short write: " + path);
+}
+
+/// Atomic replace: write to `tmp`, rename over `path` (the FtiLite protocol,
+/// so a failure mid-write never destroys the previous good record).
+void commit_file(const std::string& tmp, const std::string& path, const std::string& data) {
+  write_file(tmp, data);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw CheckpointError("cannot commit: " + path);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Record serialization
+// ---------------------------------------------------------------------------
+
+std::uint64_t DeltaPatch::cell_count() const {
+  std::uint64_t n = 0;
+  for (const auto& v : vars) {
+    for (const auto& r : v.runs) n += r.cells.size();
+  }
+  return n;
+}
+
+std::string EngineRecord::to_bytes() const {
+  std::string body;
+  put_u32(body, kVersion);
+  body.push_back(static_cast<char>(kind));
+  put_u64(body, base_id);
+  put_u64(body, seq);
+  put_u64(body, static_cast<std::uint64_t>(iteration));
+  if (kind == Kind::Full) {
+    const std::string img = full.to_bytes();
+    put_u64(body, img.size());
+    body += img;
+  } else {
+    put_u32(body, static_cast<std::uint32_t>(delta.vars.size()));
+    for (const auto& v : delta.vars) {
+      put_u32(body, static_cast<std::uint32_t>(v.name.size()));
+      body += v.name;
+      put_u32(body, static_cast<std::uint32_t>(v.runs.size()));
+      for (const auto& r : v.runs) {
+        put_u32(body, r.index);
+        put_u64(body, r.cells.size());
+        for (const auto& c : r.cells) {
+          put_u64(body, c.payload);
+          body.push_back(static_cast<char>(c.kind));
+        }
+      }
+    }
+  }
+  const std::uint32_t crc = crc32(body.data(), body.size());
+
+  std::string out;
+  out.append(kMagic, 4);
+  out += body;
+  out.append(reinterpret_cast<const char*>(&crc), 4);
+  return out;
+}
+
+EngineRecord EngineRecord::from_bytes(const std::string& data) {
+  if (data.size() < 12 || std::memcmp(data.data(), kMagic, 4) != 0) {
+    throw CheckpointError("bad engine record magic");
+  }
+  const std::string_view body(data.data() + 4, data.size() - 8);
+  std::uint32_t stored_crc;
+  std::memcpy(&stored_crc, data.data() + data.size() - 4, 4);
+  if (crc32(body.data(), body.size()) != stored_crc) {
+    throw CheckpointError("engine record CRC mismatch");
+  }
+
+  Cursor cur(body);
+  const std::uint32_t version = cur.u32();
+  if (version != kVersion) throw CheckpointError(strf("unsupported engine record version %u", version));
+  EngineRecord rec;
+  rec.kind = static_cast<Kind>(cur.u8());
+  rec.base_id = cur.u64();
+  rec.seq = cur.u64();
+  rec.iteration = static_cast<std::int64_t>(cur.u64());
+  if (rec.kind == Kind::Full) {
+    const std::uint64_t len = cur.u64();
+    rec.full = CheckpointImage::from_bytes(cur.str(static_cast<std::size_t>(len)));
+  } else if (rec.kind == Kind::Delta) {
+    const std::uint32_t nvars = cur.u32();
+    rec.delta.vars.resize(nvars);
+    for (auto& v : rec.delta.vars) {
+      v.name = cur.str(cur.u32());
+      const std::uint32_t nruns = cur.u32();
+      v.runs.resize(nruns);
+      for (auto& r : v.runs) {
+        r.index = cur.u32();
+        const std::uint64_t ncells = cur.u64();
+        r.cells.resize(static_cast<std::size_t>(ncells));
+        for (auto& c : r.cells) {
+          c.payload = cur.u64();
+          c.kind = cur.u8();
+        }
+      }
+    }
+  } else {
+    throw CheckpointError("bad engine record kind");
+  }
+  if (!cur.done()) throw CheckpointError("trailing bytes in engine record");
+  return rec;
+}
+
+void apply_delta(CheckpointImage& base, const DeltaPatch& patch, std::int64_t iteration) {
+  CheckpointImage next;
+  next.set_iteration(iteration);
+  for (const auto& snap : base.vars()) {
+    std::vector<Cell> cells = snap.cells;
+    for (const auto& dv : patch.vars) {
+      if (dv.name != snap.name) continue;
+      for (const auto& run : dv.runs) {
+        if (run.index + run.cells.size() > cells.size()) {
+          throw CheckpointError("delta run out of range for variable: " + dv.name);
+        }
+        for (std::size_t i = 0; i < run.cells.size(); ++i) {
+          cells[run.index + i] = run.cells[i];
+        }
+      }
+    }
+    next.add(snap.name, std::move(cells));
+  }
+  for (const auto& dv : patch.vars) {
+    if (!base.find(dv.name)) {
+      throw CheckpointError("delta for variable absent from base image: " + dv.name);
+    }
+  }
+  base = std::move(next);
+}
+
+CheckpointImage snapshot_regions(const vm::Arena& arena,
+                                 const std::vector<ProtectedRegion>& regions) {
+  CheckpointImage img;
+  for (const auto& r : regions) {
+    std::vector<Cell> cells;
+    cells.reserve(static_cast<std::size_t>(r.bytes / vm::kCellBytes));
+    for (std::uint64_t off = 0; off < r.bytes; off += vm::kCellBytes) {
+      const vm::Arena::RawCell raw = arena.read_raw(r.addr + off);
+      cells.push_back(Cell{raw.payload, static_cast<std::uint8_t>(raw.kind)});
+    }
+    img.add(r.name, std::move(cells));
+  }
+  return img;
+}
+
+// ---------------------------------------------------------------------------
+// Engine lifecycle
+// ---------------------------------------------------------------------------
+
+CheckpointEngine::CheckpointEngine(EngineConfig cfg) : cfg_(std::move(cfg)) {
+  AC_CHECK(!cfg_.dir.empty(), "engine: dir is required");
+  if (cfg_.level >= EngineLevel::L2) {
+    AC_CHECK(!cfg_.partner_dir.empty(), "engine: partner_dir is required for L2/L3");
+    // A replica in the local directory is the same file under the same name:
+    // zero redundancy, and the partner write would clobber the committed
+    // base. Refuse rather than silently degrade below L1.
+    AC_CHECK(std::filesystem::weakly_canonical(cfg_.partner_dir) !=
+                 std::filesystem::weakly_canonical(cfg_.dir),
+             "engine: partner_dir must differ from dir for L2/L3");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(cfg_.dir, ec);
+  if (!cfg_.partner_dir.empty()) std::filesystem::create_directories(cfg_.partner_dir, ec);
+  if (cfg_.full_every < 1) cfg_.full_every = 1;
+  if (!cfg_.policy) cfg_.policy = std::make_shared<FixedIntervalPolicy>(1);
+  if (cfg_.async) writer_ = std::thread([this] { writer_loop(); });
+}
+
+CheckpointEngine::~CheckpointEngine() {
+  if (writer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    writer_.join();
+  }
+}
+
+std::string CheckpointEngine::base_path(bool partner) const {
+  return (partner ? cfg_.partner_dir : cfg_.dir) + "/" + cfg_.tag + ".base.eng";
+}
+std::string CheckpointEngine::delta_path(std::uint64_t seq, bool partner) const {
+  return (partner ? cfg_.partner_dir : cfg_.dir) + "/" + cfg_.tag +
+         strf(".delta.%llu.eng", static_cast<unsigned long long>(seq));
+}
+std::string CheckpointEngine::pack_path() const { return cfg_.dir + "/" + cfg_.tag + ".pack"; }
+std::string CheckpointEngine::tmp_path() const { return cfg_.dir + "/" + cfg_.tag + ".eng.tmp"; }
+
+// ---------------------------------------------------------------------------
+// Registration
+// ---------------------------------------------------------------------------
+
+void CheckpointEngine::protect(const std::string& name) {
+  for (const auto& n : names_) {
+    if (n == name) return;
+  }
+  names_.push_back(name);
+}
+
+void CheckpointEngine::register_report(const analysis::Report& report) {
+  for (const auto& name : report.critical_names()) protect(name);
+}
+
+void CheckpointEngine::register_report_json(const std::string& json) {
+  for (const auto& name : names_from_json(json)) protect(name);
+}
+
+std::vector<std::string> CheckpointEngine::names_from_json(const std::string& json) {
+  // Minimal scanner for Report::to_json(): locate the "critical" array and
+  // pull each entry's "name" string, honouring escapes and string bounds.
+  const std::size_t key = json.find("\"critical\"");
+  if (key == std::string::npos) throw CheckpointError("report JSON has no \"critical\" array");
+  std::size_t i = json.find('[', key);
+  if (i == std::string::npos) throw CheckpointError("malformed \"critical\" array");
+
+  std::vector<std::string> names;
+  int depth = 0;
+  bool in_string = false;
+  std::string current;
+  bool capturing = false;   // inside the value string of a "name" key
+  std::string last_string;  // most recently completed string literal
+  bool last_was_name_key = false;
+
+  for (; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\' && i + 1 < json.size()) {
+        const char esc = json[++i];
+        current += (esc == 'n' ? '\n' : esc == 't' ? '\t' : esc);
+        continue;
+      }
+      if (c == '"') {
+        in_string = false;
+        if (capturing) names.push_back(current);
+        capturing = false;
+        last_string = current;
+        continue;
+      }
+      current += c;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        current.clear();
+        capturing = last_was_name_key;
+        last_was_name_key = false;
+        break;
+      case ':':
+        last_was_name_key = last_string == "name";
+        break;
+      case '[':
+      case '{':
+        ++depth;
+        break;
+      case ']':
+      case '}':
+        --depth;
+        if (depth == 0) return names;  // closed the "critical" array
+        break;
+      default:
+        break;
+    }
+  }
+  throw CheckpointError("unterminated \"critical\" array in report JSON");
+}
+
+// ---------------------------------------------------------------------------
+// Capture (VM thread)
+// ---------------------------------------------------------------------------
+
+EngineRecord CheckpointEngine::capture(std::int64_t iter, vm::Arena& arena,
+                                       const std::vector<ProtectedRegion>& regions) {
+  EngineRecord rec;
+  rec.iteration = iter;
+
+  const bool full = !cfg_.incremental || !have_base_ ||
+                    commits_since_full_ >= cfg_.full_every;
+  if (full) {
+    rec.kind = EngineRecord::Kind::Full;
+    rec.base_id = ++base_id_;
+    rec.seq = 0;
+    rec.full = snapshot_regions(arena, regions);
+    rec.full.set_iteration(iter);
+    have_base_ = true;
+    next_seq_ = 1;
+    commits_since_full_ = 0;
+  } else {
+    rec.kind = EngineRecord::Kind::Delta;
+    rec.base_id = base_id_;
+    rec.seq = next_seq_++;
+    for (const auto& r : regions) {
+      DeltaVar dv;
+      dv.name = r.name;
+      for (std::uint64_t off = 0; off < r.bytes; off += vm::kCellBytes) {
+        const std::uint64_t addr = r.addr + off;
+        if (!arena.dirty_since(addr, delta_epoch_)) continue;
+        const std::uint32_t index = static_cast<std::uint32_t>(off / vm::kCellBytes);
+        const vm::Arena::RawCell raw = arena.read_raw(addr);
+        if (dv.runs.empty() || dv.runs.back().index + dv.runs.back().cells.size() != index) {
+          dv.runs.push_back(DeltaRun{index, {}});
+        }
+        dv.runs.back().cells.push_back(Cell{raw.payload, static_cast<std::uint8_t>(raw.kind)});
+      }
+      if (!dv.runs.empty()) rec.delta.vars.push_back(std::move(dv));
+    }
+    ++commits_since_full_;
+  }
+
+  // Everything up to the current epoch is captured; cells written from the
+  // next epoch on are dirty relative to this snapshot.
+  delta_epoch_ = arena.advance_epoch();
+  return rec;
+}
+
+bool CheckpointEngine::on_iteration(std::int64_t completed_iter, vm::Arena& arena,
+                                    const std::vector<ProtectedRegion>& regions) {
+  if (iter_timer_live_) cfg_.policy->observe_iteration(iter_timer_.seconds());
+  iter_timer_.reset();
+  iter_timer_live_ = true;
+
+  if (regions.empty()) return false;
+  if (!cfg_.policy->due(completed_iter, last_commit_iter_)) return false;
+
+  WallTimer cost;
+  EngineRecord rec = capture(completed_iter, arena, regions);
+  last_commit_iter_ = completed_iter;
+
+  // Stats that belong to capture time (the writer owns the byte counters).
+  std::uint64_t full_equiv = 0;
+  for (const auto& r : regions) full_equiv += (r.bytes / vm::kCellBytes) * 9 + r.name.size() + 8;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.checkpoints;
+    if (rec.kind == EngineRecord::Kind::Full) {
+      ++stats_.full_checkpoints;
+      stats_.cells_captured += [&] {
+        std::uint64_t n = 0;
+        for (const auto& v : rec.full.vars()) n += v.cells.size();
+        return n;
+      }();
+    } else {
+      ++stats_.delta_checkpoints;
+      stats_.cells_captured += rec.delta.cell_count();
+    }
+    stats_.full_equiv_bytes += full_equiv;
+  }
+
+  commit(std::move(rec));
+  cfg_.policy->observe_checkpoint(cost.seconds());
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Writeback
+// ---------------------------------------------------------------------------
+
+void CheckpointEngine::commit(EngineRecord rec) {
+  if (!cfg_.async) {
+    persist(rec);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  check_writer_error();
+  // Double buffering: one record being written + one queued. A third capture
+  // stalls the VM until the writer frees a slot.
+  if (!queue_.empty()) {
+    ++stats_.async_stalls;
+    cv_.wait(lock, [this] { return queue_.empty() || writer_error_; });
+    check_writer_error();
+  }
+  queue_.push_back(std::move(rec));
+  cv_.notify_all();
+}
+
+void CheckpointEngine::writer_loop() {
+  for (;;) {
+    EngineRecord rec;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ with nothing pending
+      rec = std::move(queue_.front());
+      queue_.pop_front();
+      writing_ = true;
+    }
+    // The slot freed at pop time: wake a stalled producer now, not after the
+    // I/O — that is what makes the buffering double rather than single.
+    cv_.notify_all();
+    std::exception_ptr error;
+    try {
+      persist(rec);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      writing_ = false;
+      if (error && !writer_error_) writer_error_ = error;
+    }
+    cv_.notify_all();
+  }
+}
+
+void CheckpointEngine::persist(const EngineRecord& rec) {
+  const std::string bytes = rec.to_bytes();
+  const bool full = rec.kind == EngineRecord::Kind::Full;
+
+  // L1: atomic replace for the base; deltas are fresh files (their chain is
+  // validated by CRC + base_id + seq on recovery, so a torn delta only costs
+  // the tail of the chain).
+  const std::string local = full ? base_path(false) : delta_path(rec.seq, false);
+  commit_file(tmp_path(), local, bytes);
+  if (full) {
+    // A new base supersedes the previous chain: drop stale local deltas.
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(cfg_.dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(cfg_.tag + ".delta.", 0) == 0) fs::remove(entry.path(), ec);
+    }
+  }
+
+  // L2: partner replica (after the local commit, mirroring FtiLite).
+  if (cfg_.level >= EngineLevel::L2) {
+    write_file(full ? base_path(true) : delta_path(rec.seq, true), bytes);
+    if (full) {
+      namespace fs = std::filesystem;
+      std::error_code ec;
+      for (const auto& entry : fs::directory_iterator(cfg_.partner_dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind(cfg_.tag + ".delta.", 0) == 0) fs::remove(entry.path(), ec);
+      }
+    }
+  }
+
+  // L3: append to the packed archive — [u32 length][u32 crc][record bytes].
+  if (cfg_.level >= EngineLevel::L3) {
+    std::FILE* f = std::fopen(pack_path().c_str(), "ab");
+    if (!f) throw CheckpointError("cannot append to archive: " + pack_path());
+    const std::uint32_t len = static_cast<std::uint32_t>(bytes.size());
+    const std::uint32_t crc = crc32(bytes.data(), bytes.size());
+    bool ok = std::fwrite(&len, 1, 4, f) == 4;
+    ok = ok && std::fwrite(&crc, 1, 4, f) == 4;
+    ok = ok && std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    if (std::fclose(f) != 0) ok = false;
+    if (!ok) throw CheckpointError("short append to archive: " + pack_path());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.l1_bytes += bytes.size();
+    if (cfg_.level >= EngineLevel::L2) stats_.l2_bytes += bytes.size();
+    if (cfg_.level >= EngineLevel::L3) stats_.l3_bytes += bytes.size() + 8;
+    stats_.last_persisted_iteration = std::max(stats_.last_persisted_iteration, rec.iteration);
+  }
+}
+
+void CheckpointEngine::drain() const {
+  if (!cfg_.async) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return (queue_.empty() && !writing_) || writer_error_; });
+}
+
+void CheckpointEngine::check_writer_error() const {
+  if (writer_error_) std::rethrow_exception(writer_error_);
+}
+
+void CheckpointEngine::flush() {
+  drain();
+  std::lock_guard<std::mutex> lock(mu_);
+  check_writer_error();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+bool CheckpointEngine::has_checkpoint() const {
+  drain();
+  return file_exists(base_path(false)) ||
+         (cfg_.level >= EngineLevel::L2 && file_exists(base_path(true))) ||
+         (cfg_.level >= EngineLevel::L3 && file_exists(pack_path()));
+}
+
+EngineRecord CheckpointEngine::load_record(const std::string& local,
+                                           const std::string& partner) const {
+  try {
+    return EngineRecord::from_bytes(read_file(local));
+  } catch (const CheckpointError&) {
+    if (cfg_.level < EngineLevel::L2) throw;
+    return EngineRecord::from_bytes(read_file(partner));
+  }
+}
+
+CheckpointImage CheckpointEngine::recover_from_files() const {
+  EngineRecord base = load_record(base_path(false), base_path(true));
+  if (base.kind != EngineRecord::Kind::Full) throw CheckpointError("base record is not full");
+  CheckpointImage img = std::move(base.full);
+
+  // Apply the delta chain in sequence order; any gap, CRC failure or base_id
+  // mismatch ends the recoverable prefix (later deltas depend on every
+  // earlier one, so they are unusable).
+  std::uint64_t expect_seq = 1;
+  for (;;) {
+    EngineRecord delta;
+    try {
+      delta = load_record(delta_path(expect_seq, false), delta_path(expect_seq, true));
+    } catch (const CheckpointError&) {
+      break;
+    }
+    if (delta.kind != EngineRecord::Kind::Delta || delta.base_id != base.base_id ||
+        delta.seq != expect_seq) {
+      break;
+    }
+    apply_delta(img, delta.delta, delta.iteration);
+    ++expect_seq;
+  }
+  return img;
+}
+
+CheckpointImage CheckpointEngine::recover_from_pack() const {
+  const std::string data = read_file(pack_path());
+  std::vector<EngineRecord> records;
+  std::size_t pos = 0;
+  while (pos + 8 <= data.size()) {
+    std::uint32_t len, crc;
+    std::memcpy(&len, data.data() + pos, 4);
+    std::memcpy(&crc, data.data() + pos + 4, 4);
+    if (pos + 8 + len > data.size()) break;  // torn tail
+    const std::string chunk = data.substr(pos + 8, len);
+    if (crc32(chunk.data(), chunk.size()) != crc) break;  // corruption: stop here
+    try {
+      records.push_back(EngineRecord::from_bytes(chunk));
+    } catch (const CheckpointError&) {
+      break;
+    }
+    pos += 8 + len;
+  }
+
+  // Reassemble from the last full record forward.
+  std::ptrdiff_t last_full = -1;
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(records.size()) - 1; i >= 0; --i) {
+    if (records[static_cast<std::size_t>(i)].kind == EngineRecord::Kind::Full) {
+      last_full = i;
+      break;
+    }
+  }
+  if (last_full < 0) throw CheckpointError("archive holds no full checkpoint: " + pack_path());
+
+  const EngineRecord& base = records[static_cast<std::size_t>(last_full)];
+  CheckpointImage img = base.full;
+  std::uint64_t expect_seq = 1;
+  for (std::size_t i = static_cast<std::size_t>(last_full) + 1; i < records.size(); ++i) {
+    const EngineRecord& delta = records[i];
+    if (delta.kind != EngineRecord::Kind::Delta || delta.base_id != base.base_id ||
+        delta.seq != expect_seq) {
+      break;
+    }
+    apply_delta(img, delta.delta, delta.iteration);
+    ++expect_seq;
+  }
+  return img;
+}
+
+CheckpointImage CheckpointEngine::recover() const {
+  drain();
+  try {
+    return recover_from_files();
+  } catch (const CheckpointError&) {
+    if (cfg_.level < EngineLevel::L3 || !file_exists(pack_path())) throw;
+    return recover_from_pack();
+  }
+}
+
+void CheckpointEngine::reset() {
+  flush();
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const auto sweep = [&](const std::string& dir) {
+    if (dir.empty()) return;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(cfg_.tag + ".", 0) == 0) fs::remove(entry.path(), ec);
+    }
+  };
+  sweep(cfg_.dir);
+  sweep(cfg_.partner_dir);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = EngineStats{};
+  have_base_ = false;
+  base_id_ = 0;
+  next_seq_ = 1;
+  last_commit_iter_ = 0;
+  commits_since_full_ = 0;
+  iter_timer_live_ = false;
+}
+
+EngineStats CheckpointEngine::stats() const {
+  drain();
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ac::ckpt

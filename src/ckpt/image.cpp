@@ -77,7 +77,7 @@ std::uint64_t CheckpointImage::byte_size() const {
   return total;
 }
 
-void CheckpointImage::save(const std::string& path) const {
+std::string CheckpointImage::to_bytes() const {
   std::string body;
   put_u32(body, kVersion);
   put_u64(body, static_cast<std::uint64_t>(iteration_));
@@ -93,36 +93,32 @@ void CheckpointImage::save(const std::string& path) const {
   }
   const std::uint32_t crc = crc32(body.data(), body.size());
 
+  std::string out;
+  out.append(kMagic, 4);
+  out += body;
+  out.append(reinterpret_cast<const char*>(&crc), 4);
+  return out;
+}
+
+void CheckpointImage::save(const std::string& path) const {
+  const std::string data = to_bytes();
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (!f) throw CheckpointError("cannot write checkpoint: " + path);
-  bool ok = std::fwrite(kMagic, 1, 4, f) == 4;
-  ok = ok && std::fwrite(body.data(), 1, body.size(), f) == body.size();
-  ok = ok && std::fwrite(&crc, 1, 4, f) == 4;
+  bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
   if (std::fclose(f) != 0) ok = false;
   if (!ok) throw CheckpointError("short write to checkpoint: " + path);
 }
 
-CheckpointImage CheckpointImage::load(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) throw CheckpointError("cannot open checkpoint: " + path);
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::string data(size > 0 ? static_cast<std::size_t>(size) : 0, '\0');
-  if (size > 0 && std::fread(data.data(), 1, data.size(), f) != data.size()) {
-    std::fclose(f);
-    throw CheckpointError("short read from checkpoint: " + path);
-  }
-  std::fclose(f);
-
+CheckpointImage CheckpointImage::from_bytes(const std::string& data, const std::string& context) {
+  const std::string where = context.empty() ? "" : ": " + context;
   if (data.size() < 12 || std::memcmp(data.data(), kMagic, 4) != 0) {
-    throw CheckpointError("bad checkpoint magic: " + path);
+    throw CheckpointError("bad checkpoint magic" + where);
   }
   const std::string body = data.substr(4, data.size() - 8);
   std::uint32_t stored_crc;
   std::memcpy(&stored_crc, data.data() + data.size() - 4, 4);
   if (crc32(body.data(), body.size()) != stored_crc) {
-    throw CheckpointError("checkpoint CRC mismatch (corrupt file): " + path);
+    throw CheckpointError("checkpoint CRC mismatch (corrupt data)" + where);
   }
 
   Cursor cur(body);
@@ -144,6 +140,22 @@ CheckpointImage CheckpointImage::load(const std::string& path) {
     img.vars_.push_back(std::move(snap));
   }
   return img;
+}
+
+CheckpointImage CheckpointImage::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw CheckpointError("cannot open checkpoint: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string data(size > 0 ? static_cast<std::size_t>(size) : 0, '\0');
+  if (size > 0 && std::fread(data.data(), 1, data.size(), f) != data.size()) {
+    std::fclose(f);
+    throw CheckpointError("short read from checkpoint: " + path);
+  }
+  std::fclose(f);
+
+  return from_bytes(data, path);
 }
 
 }  // namespace ac::ckpt

@@ -55,6 +55,12 @@ class CheckpointImage {
   /// truncation, or CRC mismatch.
   static CheckpointImage load(const std::string& path);
 
+  /// Byte-level (de)serialization of the same format — the checkpoint
+  /// engine embeds images in its own records and the L3 packed archive.
+  /// `context` (e.g. a file path) is appended to error messages.
+  std::string to_bytes() const;
+  static CheckpointImage from_bytes(const std::string& data, const std::string& context = "");
+
   bool operator==(const CheckpointImage&) const = default;
 
  private:

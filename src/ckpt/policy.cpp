@@ -1,0 +1,73 @@
+#include "ckpt/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace ac::ckpt {
+
+FixedIntervalPolicy::FixedIntervalPolicy(std::int64_t every) : every_(std::max<std::int64_t>(1, every)) {}
+
+bool FixedIntervalPolicy::due(std::int64_t completed_iter, std::int64_t last_commit_iter) {
+  return completed_iter - last_commit_iter >= every_;
+}
+
+double young_period_seconds(double checkpoint_cost_s, double mtbf_s) {
+  AC_CHECK(checkpoint_cost_s >= 0 && mtbf_s > 0, "young: bad C or M");
+  return std::sqrt(2.0 * checkpoint_cost_s * mtbf_s);
+}
+
+double daly_period_seconds(double checkpoint_cost_s, double mtbf_s) {
+  AC_CHECK(checkpoint_cost_s >= 0 && mtbf_s > 0, "daly: bad C or M");
+  const double c = checkpoint_cost_s;
+  const double m = mtbf_s;
+  if (c >= 2.0 * m) return m;
+  const double r = std::sqrt(c / (2.0 * m));
+  return std::sqrt(2.0 * c * m) * (1.0 + r / 3.0 + (c / (2.0 * m)) / 9.0) - c;
+}
+
+YoungDalyPolicy::YoungDalyPolicy(double mtbf_s, Order order, std::int64_t min_iters,
+                                 std::int64_t max_iters)
+    : mtbf_s_(mtbf_s), order_(order), min_iters_(std::max<std::int64_t>(1, min_iters)),
+      max_iters_(std::max(min_iters_, max_iters)) {
+  AC_CHECK(mtbf_s > 0, "young/daly: MTBF must be positive");
+}
+
+void YoungDalyPolicy::observe_iteration(double seconds) {
+  iter_total_s_ += std::max(0.0, seconds);
+  ++iter_count_;
+}
+
+void YoungDalyPolicy::observe_checkpoint(double seconds) {
+  ckpt_total_s_ += std::max(0.0, seconds);
+  ++ckpt_count_;
+}
+
+double YoungDalyPolicy::mean_iteration_seconds() const {
+  return iter_count_ ? iter_total_s_ / static_cast<double>(iter_count_) : 0.0;
+}
+
+double YoungDalyPolicy::mean_checkpoint_seconds() const {
+  return ckpt_count_ ? ckpt_total_s_ / static_cast<double>(ckpt_count_) : 0.0;
+}
+
+std::int64_t YoungDalyPolicy::interval_iters() const {
+  const double iter_s = mean_iteration_seconds();
+  // No timing signal yet (or iterations too fast to resolve): checkpoint
+  // every iteration until the measurement becomes meaningful.
+  if (iter_s <= 0.0) return min_iters_;
+  const double c = mean_checkpoint_seconds();
+  const double period_s = order_ == Order::Young ? young_period_seconds(c, mtbf_s_)
+                                                 : daly_period_seconds(c, mtbf_s_);
+  const double iters = period_s / iter_s;
+  if (iters <= static_cast<double>(min_iters_)) return min_iters_;
+  if (iters >= static_cast<double>(max_iters_)) return max_iters_;
+  return static_cast<std::int64_t>(iters);
+}
+
+bool YoungDalyPolicy::due(std::int64_t completed_iter, std::int64_t last_commit_iter) {
+  return completed_iter - last_commit_iter >= interval_iters();
+}
+
+}  // namespace ac::ckpt

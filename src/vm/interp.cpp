@@ -483,18 +483,18 @@ void Interpreter::exec_instr(const ir::Instr& in) {
 // MCL instrumentation
 // ---------------------------------------------------------------------------
 
-std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>>
+std::vector<ckpt::ProtectedRegion>
 Interpreter::resolve_protected(const std::vector<std::string>& names) const {
   // Resolution scope: the MCL host function's live frame, then globals —
   // the same scope in which the paper inserts FTI_Protect calls.
   const Frame& f = frames_.back();
-  std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>> out;
+  std::vector<ckpt::ProtectedRegion> out;
   for (const auto& name : names) {
     bool found = false;
     for (std::size_t slot = 0; slot < f.fn->locals.size(); ++slot) {
       if (f.fn->locals[slot].name == name) {
-        out.emplace_back(name, std::make_pair(f.slot_addr[slot],
-                                              static_cast<std::uint64_t>(f.fn->locals[slot].bytes())));
+        out.push_back({name, f.slot_addr[slot],
+                       static_cast<std::uint64_t>(f.fn->locals[slot].bytes())});
         found = true;
         break;
       }
@@ -502,8 +502,8 @@ Interpreter::resolve_protected(const std::vector<std::string>& names) const {
     if (!found) {
       for (std::size_t g = 0; g < module_.globals.size(); ++g) {
         if (module_.globals[g].name == name) {
-          out.emplace_back(name, std::make_pair(global_addr_[g],
-                                                static_cast<std::uint64_t>(module_.globals[g].bytes())));
+          out.push_back({name, global_addr_[g],
+                         static_cast<std::uint64_t>(module_.globals[g].bytes())});
           found = true;
           break;
         }
@@ -515,28 +515,17 @@ Interpreter::resolve_protected(const std::vector<std::string>& names) const {
 }
 
 ckpt::CheckpointImage Interpreter::snapshot(const std::vector<std::string>& names) const {
-  ckpt::CheckpointImage img;
-  for (const auto& [name, range] : resolve_protected(names)) {
-    std::vector<ckpt::Cell> cells;
-    cells.reserve(range.second / kCellBytes);
-    for (std::uint64_t off = 0; off < range.second; off += kCellBytes) {
-      const Arena::RawCell raw = arena_.read_raw(range.first + off);
-      cells.push_back(ckpt::Cell{raw.payload, static_cast<std::uint8_t>(raw.kind)});
-    }
-    img.add(name, std::move(cells));
-  }
-  return img;
+  return ckpt::snapshot_regions(arena_, resolve_protected(names));
 }
 
 void Interpreter::apply_restore(const ckpt::CheckpointImage& img) {
   for (const auto& snap : img.vars()) {
-    const auto resolved = resolve_protected({snap.name});
-    const auto& [addr, bytes] = resolved.front().second;
-    if (snap.cells.size() * kCellBytes != bytes) {
+    const ckpt::ProtectedRegion region = resolve_protected({snap.name}).front();
+    if (snap.cells.size() * kCellBytes != region.bytes) {
       throw CheckpointError("size mismatch restoring variable: " + snap.name);
     }
     for (std::size_t i = 0; i < snap.cells.size(); ++i) {
-      arena_.write_raw(addr + i * kCellBytes,
+      arena_.write_raw(region.addr + i * kCellBytes,
                        Arena::RawCell{snap.cells[i].payload,
                                       static_cast<ValueKind>(snap.cells[i].kind)});
     }
@@ -577,6 +566,13 @@ void Interpreter::on_header_evaluation() {
     ckpt::CheckpointImage img = snapshot(opts_->protect);
     img.set_iteration(iteration_ - 1);
     opts_->on_checkpoint(img);
+  }
+  if (completed_an_iteration && opts_->engine) {
+    if (!engine_regions_bound_) {
+      engine_regions_ = resolve_protected(opts_->engine->protected_names());
+      engine_regions_bound_ = true;
+    }
+    opts_->engine->on_iteration(iteration_ - 1, arena_, engine_regions_);
   }
   if (opts_->fail_at_iteration > 0 && iteration_ == opts_->fail_at_iteration) {
     throw FailStop{iteration_};

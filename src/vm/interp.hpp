@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ckpt/blcr.hpp"
+#include "ckpt/engine.hpp"
 #include "ckpt/image.hpp"
 #include "ir/ir.hpp"
 #include "trace/writer.hpp"
@@ -62,6 +63,12 @@ struct RunOptions {
   /// Called at every iteration boundary with the live machine state
   /// (BLCR-style full-image cost measurements).
   std::function<void(const ckpt::MachineState&)> on_machine_state;
+
+  /// Full checkpoint-engine integration: at every iteration boundary the
+  /// engine's registered variables are bound to their arena ranges and the
+  /// engine decides (per its policy) whether to capture an incremental or
+  /// full snapshot. Independent of the on_checkpoint hook above.
+  ckpt::CheckpointEngine* engine = nullptr;
 
   /// Inject a fail-stop when this iteration is about to start (1-based);
   /// -1 disables. The failure fires after iteration N-1's checkpoint.
@@ -111,6 +118,10 @@ class Interpreter {
   double timer_counter_ = 0.0;
   int iteration_ = 0;      // completed header evaluations
   bool restored_ = false;
+  // Engine registrations bound once at the first iteration boundary — the
+  // MCL frame stays live across iterations, so the addresses are invariant.
+  std::vector<ckpt::ProtectedRegion> engine_regions_;
+  bool engine_regions_bound_ = false;
 
   Frame& top() { return frames_.back(); }
 
@@ -141,8 +152,8 @@ class Interpreter {
 
   // MCL instrumentation at a conditional header-line branch.
   void on_header_evaluation();
-  std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>>
-  resolve_protected(const std::vector<std::string>& names) const;  // name -> (addr, bytes)
+  std::vector<ckpt::ProtectedRegion>
+  resolve_protected(const std::vector<std::string>& names) const;
   ckpt::CheckpointImage snapshot(const std::vector<std::string>& names) const;
   void apply_restore(const ckpt::CheckpointImage& img);
   ckpt::MachineState machine_state() const;

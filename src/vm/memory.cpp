@@ -24,17 +24,22 @@ std::uint64_t Arena::bump(std::uint64_t bytes) {
   top_ += bytes;
   if (top_ > peak_) peak_ = top_;
   const std::size_t need = static_cast<std::size_t>((top_ - kBaseAddr) / kCellBytes);
+  const std::size_t first = static_cast<std::size_t>((addr - kBaseAddr) / kCellBytes);
   if (payload_.size() < need) {
     payload_.resize(need, 0);
     kind_.resize(need, ValueKind::Int);
-  } else {
-    // Reused stack region: zero it so locals start deterministic.
-    const std::size_t first = static_cast<std::size_t>((addr - kBaseAddr) / kCellBytes);
-    for (std::size_t i = first; i < need; ++i) {
-      payload_[i] = 0;
-      kind_[i] = ValueKind::Int;
-    }
+    stamp_.resize(need, 0);
   }
+  // Zero any reused stack region so locals start deterministic (resize only
+  // zero-fills the appended tail; cells below the historical high-water mark
+  // may hold a dead frame's values).
+  for (std::size_t i = first; i < need; ++i) {
+    payload_[i] = 0;
+    kind_[i] = ValueKind::Int;
+  }
+  // Allocation-time zeroing is a write: stamp so incremental checkpoints
+  // capture freshly (re)allocated cells.
+  for (std::size_t i = first; i < need; ++i) stamp_[i] = epoch_;
   return addr;
 }
 
@@ -74,6 +79,7 @@ Value Arena::read(std::uint64_t addr) const {
 
 void Arena::write(std::uint64_t addr, const Value& v) {
   const std::size_t i = cell_index(addr);
+  stamp_[i] = epoch_;
   kind_[i] = v.kind;
   switch (v.kind) {
     case ValueKind::Int:
@@ -95,8 +101,11 @@ Arena::RawCell Arena::read_raw(std::uint64_t addr) const {
 
 void Arena::write_raw(std::uint64_t addr, const RawCell& cell) {
   const std::size_t i = cell_index(addr);
+  stamp_[i] = epoch_;
   payload_[i] = cell.payload;
   kind_[i] = cell.kind;
 }
+
+std::uint64_t Arena::cell_epoch(std::uint64_t addr) const { return stamp_[cell_index(addr)]; }
 
 }  // namespace ac::vm

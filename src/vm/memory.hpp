@@ -1,15 +1,20 @@
 // Arena memory for the tracing VM.
 //
 // A single flat address space starting at kBaseAddr: globals are carved out
-// first, then a downward-growing... no — an upward bump region serves as the
-// call stack (frames release back to their entry mark on return, so local
-// addresses are reused across calls exactly like a real stack, which is what
-// makes the paper's Challenge 2 — locals shadowing MLI variables — a real
-// scenario for the analysis to solve).
+// first, then an upward-growing bump region serves as the call stack. Frames
+// release back to their entry mark on return, so local addresses are reused
+// across calls exactly like a real stack — which is what makes the paper's
+// Challenge 2 (locals shadowing MLI variables) a real scenario for the
+// analysis to solve.
 //
 // Every 8-byte cell carries a ValueKind tag so loads reproduce the value kind
 // that was stored (Int / Float / Addr). Address-kind values are what the
 // analysis recognizes as pointer assignments.
+//
+// Each cell additionally carries a write-epoch stamp: every mutation records
+// the arena's current epoch, and the checkpoint engine advances the epoch
+// after committing a snapshot — cells stamped later than the last committed
+// epoch are exactly the ones an incremental checkpoint must persist.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +56,17 @@ class Arena {
   RawCell read_raw(std::uint64_t addr) const;
   void write_raw(std::uint64_t addr, const RawCell& cell);
 
+  /// Dirty-cell tracking for incremental checkpoints. Every write (including
+  /// allocation-time zeroing) stamps its cell with the current epoch; the
+  /// engine calls advance_epoch() after committing a snapshot. A cell is
+  /// dirty relative to an epoch `e` iff its stamp is >= e.
+  std::uint64_t write_epoch() const { return epoch_; }
+  std::uint64_t advance_epoch() { return ++epoch_; }
+  std::uint64_t cell_epoch(std::uint64_t addr) const;
+  bool dirty_since(std::uint64_t addr, std::uint64_t epoch) const {
+    return cell_epoch(addr) >= epoch;
+  }
+
   /// Total bytes currently allocated (globals + live stack) — the BLCR-style
   /// process-image size.
   std::uint64_t bytes_in_use() const { return top_ - kBaseAddr; }
@@ -65,6 +81,8 @@ class Arena {
   // One slot per 8-byte cell.
   std::vector<std::uint64_t> payload_;
   std::vector<ValueKind> kind_;
+  std::vector<std::uint64_t> stamp_;  // write epoch of the last mutation
+  std::uint64_t epoch_ = 1;
   std::uint64_t top_ = kBaseAddr;
   std::uint64_t peak_ = kBaseAddr;
   bool globals_sealed_ = false;

@@ -1,0 +1,400 @@
+// CheckpointEngine: interval policies, record serialization, report-driven
+// registration, arena dirty-cell tracking, and full C/R round-trips through
+// the incremental / multi-level / async paths — including storage
+// degradation (corrupt local -> partner replica -> packed archive).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "apps/harness.hpp"
+#include "ckpt/engine.hpp"
+#include "ckpt/policy.hpp"
+#include "support/error.hpp"
+#include "vm/memory.hpp"
+
+#include "helpers.hpp"
+
+namespace ac {
+namespace {
+
+using apps::analyze_app;
+using apps::App;
+using apps::find_app;
+
+// ---------------------------------------------------------------------------
+// Interval policies
+// ---------------------------------------------------------------------------
+
+TEST(Policy, YoungFormula) {
+  EXPECT_DOUBLE_EQ(ckpt::young_period_seconds(2.0, 100.0), 20.0);
+  EXPECT_DOUBLE_EQ(ckpt::young_period_seconds(0.0, 100.0), 0.0);
+}
+
+TEST(Policy, DalyFormula) {
+  // Daly reduces to ~Young for C << M, minus the checkpoint cost itself.
+  const double young = ckpt::young_period_seconds(0.5, 1000.0);
+  const double daly = ckpt::daly_period_seconds(0.5, 1000.0);
+  EXPECT_LT(daly, young);
+  EXPECT_GT(daly, young - 1.0);
+  // Degenerate regime: checkpoints as expensive as failures — period = MTBF.
+  EXPECT_DOUBLE_EQ(ckpt::daly_period_seconds(300.0, 100.0), 100.0);
+}
+
+TEST(Policy, FixedInterval) {
+  ckpt::FixedIntervalPolicy p(3);
+  EXPECT_FALSE(p.due(1, 0));
+  EXPECT_FALSE(p.due(2, 0));
+  EXPECT_TRUE(p.due(3, 0));
+  EXPECT_FALSE(p.due(4, 3));
+  EXPECT_TRUE(p.due(6, 3));
+  EXPECT_EQ(p.interval_iters(), 3);
+}
+
+TEST(Policy, YoungDalyAdaptsToMeasuredCosts) {
+  ckpt::YoungDalyPolicy p(1000.0, ckpt::YoungDalyPolicy::Order::Young);
+  // No observations yet: protect every iteration.
+  EXPECT_EQ(p.interval_iters(), 1);
+  EXPECT_TRUE(p.due(1, 0));
+  // 1 s iterations, 0.5 s checkpoints, MTBF 1000 s -> sqrt(2*0.5*1000) ~ 31.6.
+  for (int i = 0; i < 4; ++i) p.observe_iteration(1.0);
+  for (int i = 0; i < 2; ++i) p.observe_checkpoint(0.5);
+  EXPECT_GE(p.interval_iters(), 31);
+  EXPECT_LE(p.interval_iters(), 32);
+  EXPECT_FALSE(p.due(10, 0));
+  EXPECT_TRUE(p.due(32, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Engine record serialization
+// ---------------------------------------------------------------------------
+
+ckpt::EngineRecord sample_full() {
+  ckpt::EngineRecord rec;
+  rec.kind = ckpt::EngineRecord::Kind::Full;
+  rec.base_id = 3;
+  rec.iteration = 7;
+  rec.full.set_iteration(7);
+  rec.full.add("x", {{41, 0}, {42, 0}, {43, 0}});
+  rec.full.add("rho", {{0x3FF0000000000000ull, 1}});
+  return rec;
+}
+
+ckpt::EngineRecord sample_delta() {
+  ckpt::EngineRecord rec;
+  rec.kind = ckpt::EngineRecord::Kind::Delta;
+  rec.base_id = 3;
+  rec.seq = 2;
+  rec.iteration = 9;
+  rec.delta.vars.push_back(ckpt::DeltaVar{"x", {ckpt::DeltaRun{1, {{99, 0}, {100, 0}}}}});
+  return rec;
+}
+
+TEST(EngineRecord, FullRoundTrip) {
+  const ckpt::EngineRecord rec = sample_full();
+  const ckpt::EngineRecord back = ckpt::EngineRecord::from_bytes(rec.to_bytes());
+  EXPECT_EQ(back.kind, ckpt::EngineRecord::Kind::Full);
+  EXPECT_EQ(back.base_id, 3u);
+  EXPECT_EQ(back.iteration, 7);
+  EXPECT_EQ(back.full, rec.full);
+}
+
+TEST(EngineRecord, DeltaRoundTrip) {
+  const ckpt::EngineRecord rec = sample_delta();
+  const ckpt::EngineRecord back = ckpt::EngineRecord::from_bytes(rec.to_bytes());
+  EXPECT_EQ(back.kind, ckpt::EngineRecord::Kind::Delta);
+  EXPECT_EQ(back.seq, 2u);
+  ASSERT_EQ(back.delta.vars.size(), 1u);
+  ASSERT_EQ(back.delta.vars[0].runs.size(), 1u);
+  EXPECT_EQ(back.delta.vars[0].runs[0].index, 1u);
+  EXPECT_EQ(back.delta.cell_count(), 2u);
+}
+
+TEST(EngineRecord, DetectsCorruptionAndTruncation) {
+  std::string bytes = sample_full().to_bytes();
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x5A;
+  EXPECT_THROW(ckpt::EngineRecord::from_bytes(corrupt), CheckpointError);
+  EXPECT_THROW(ckpt::EngineRecord::from_bytes(bytes.substr(0, bytes.size() / 2)),
+               CheckpointError);
+}
+
+TEST(EngineRecord, ApplyDeltaPatchesBase) {
+  ckpt::CheckpointImage img = sample_full().full;
+  ckpt::apply_delta(img, sample_delta().delta, 9);
+  EXPECT_EQ(img.iteration(), 9);
+  ASSERT_NE(img.find("x"), nullptr);
+  EXPECT_EQ(img.find("x")->cells[0].payload, 41u);   // untouched
+  EXPECT_EQ(img.find("x")->cells[1].payload, 99u);   // patched
+  EXPECT_EQ(img.find("x")->cells[2].payload, 100u);  // patched
+  // Out-of-range run and unknown variable are rejected.
+  ckpt::DeltaPatch bad;
+  bad.vars.push_back(ckpt::DeltaVar{"x", {ckpt::DeltaRun{2, {{1, 0}, {2, 0}}}}});
+  EXPECT_THROW(ckpt::apply_delta(img, bad, 10), CheckpointError);
+  ckpt::DeltaPatch unknown;
+  unknown.vars.push_back(ckpt::DeltaVar{"nope", {ckpt::DeltaRun{0, {{1, 0}}}}});
+  EXPECT_THROW(ckpt::apply_delta(img, unknown, 10), CheckpointError);
+}
+
+// ---------------------------------------------------------------------------
+// Report-driven registration
+// ---------------------------------------------------------------------------
+
+TEST(EngineRegistration, FromReportAndFromJson) {
+  const App& app = find_app("HPCCG");
+  const apps::AnalysisRun run = analyze_app(app);
+
+  ckpt::EngineConfig cfg;
+  cfg.dir = testing::TempDir();
+  cfg.tag = "reg_mem";
+  ckpt::CheckpointEngine from_report(cfg);
+  from_report.register_report(run.report);
+  EXPECT_EQ(from_report.protected_names(), run.report.critical_names());
+
+  cfg.tag = "reg_json";
+  ckpt::CheckpointEngine from_json(cfg);
+  from_json.register_report_json(run.report.to_json());
+  EXPECT_EQ(from_json.protected_names(), run.report.critical_names());
+}
+
+TEST(EngineRegistration, JsonRejectsGarbage) {
+  EXPECT_THROW(ckpt::CheckpointEngine::names_from_json("{\"nope\": []}"), CheckpointError);
+  EXPECT_THROW(ckpt::CheckpointEngine::names_from_json("{\"critical\": [unterminated"),
+               CheckpointError);
+}
+
+// ---------------------------------------------------------------------------
+// Arena dirty-cell tracking
+// ---------------------------------------------------------------------------
+
+TEST(ArenaEpochs, WritesStampCurrentEpoch) {
+  vm::Arena arena;
+  const std::uint64_t addr = arena.alloc_global(16);
+  // Allocation-time zeroing counts as a write in epoch 1.
+  EXPECT_TRUE(arena.dirty_since(addr, 1));
+
+  const std::uint64_t next = arena.advance_epoch();
+  EXPECT_EQ(next, 2u);
+  EXPECT_FALSE(arena.dirty_since(addr, 2));
+  EXPECT_FALSE(arena.dirty_since(addr + 8, 2));
+
+  arena.write(addr, vm::Value::make_int(5));
+  EXPECT_TRUE(arena.dirty_since(addr, 2));
+  EXPECT_FALSE(arena.dirty_since(addr + 8, 2));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end C/R round-trips
+// ---------------------------------------------------------------------------
+
+ckpt::EngineConfig engine_cfg(const std::string& tag) {
+  ckpt::EngineConfig cfg;
+  cfg.dir = testing::TempDir();
+  cfg.tag = tag;
+  return cfg;
+}
+
+// The engine replicates under the same file names, so the partner must be a
+// genuinely different directory (FtiLite distinguishes by suffix instead).
+std::string partner_dir() {
+  const std::string dir = testing::TempDir() + "/ac_engine_partner";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(EngineRoundTrip, SyncFullImages) {
+  const App& app = find_app("HPCCG");
+  const apps::AnalysisRun run = analyze_app(app);
+  ckpt::EngineConfig cfg = engine_cfg("eng_sync_full");
+  cfg.incremental = false;
+  cfg.async = false;
+  const auto v = apps::validate_cr_engine(run.module, run.region, run.report.critical_names(),
+                                          /*fail_at=*/6, cfg);
+  EXPECT_TRUE(v.restart_matches);
+  EXPECT_EQ(v.recovered_iteration, 5);
+  EXPECT_EQ(v.stats.checkpoints, 5);
+  EXPECT_EQ(v.stats.full_checkpoints, 5);
+  EXPECT_EQ(v.stats.delta_checkpoints, 0);
+}
+
+TEST(EngineRoundTrip, IncrementalAsync) {
+  const App& app = find_app("MG");
+  const apps::AnalysisRun run = analyze_app(app);
+  ckpt::EngineConfig cfg = engine_cfg("eng_incr_async");
+  cfg.full_every = 2;
+  const auto v = apps::validate_cr_engine(run.module, run.region, run.report.critical_names(),
+                                          /*fail_at=*/6, cfg);
+  EXPECT_TRUE(v.restart_matches);
+  EXPECT_EQ(v.recovered_iteration, 5);
+  EXPECT_EQ(v.stats.checkpoints, v.stats.full_checkpoints + v.stats.delta_checkpoints);
+  EXPECT_GT(v.stats.delta_checkpoints, 0);
+}
+
+TEST(EngineRoundTrip, PolicyDrivenCadenceStillRecovers) {
+  const App& app = find_app("FT");
+  const apps::AnalysisRun run = analyze_app(app);
+  ckpt::EngineConfig cfg = engine_cfg("eng_policy");
+  cfg.policy = std::make_shared<ckpt::FixedIntervalPolicy>(2);
+  const auto v = apps::validate_cr_engine(run.module, run.region, run.report.critical_names(),
+                                          /*fail_at=*/6, cfg);
+  EXPECT_TRUE(v.restart_matches);
+  // Commits at iterations 2 and 4; restart rolls back to 4, re-executes 5.
+  EXPECT_EQ(v.recovered_iteration, 4);
+  EXPECT_EQ(v.stats.checkpoints, 2);
+}
+
+TEST(EngineRoundTrip, SparseWritesProduceSmallDeltas) {
+  // Only x[it] and the induction/accumulator cells are dirtied per iteration,
+  // so delta records must capture far fewer cells than full images would.
+  const std::string src =
+      "double x[64];\n"
+      "int main() {\n"
+      "  int it;\n"
+      "  double s;\n"
+      "  int i;\n"
+      "  s = 0.0;\n"
+      "  for (i = 0; i < 64; i = i + 1) { x[i] = 1.0; }\n"
+      "  //@mcl-begin\n"
+      "  for (it = 0; it < 10; it = it + 1) {\n"
+      "    x[it] = x[it] + 2.0;\n"
+      "    s = s + x[it];\n"
+      "  }\n"
+      "  //@mcl-end\n"
+      "  print_float(s);\n"
+      "  return 0;\n"
+      "}\n";
+  const ir::Module module = minic::compile(src);
+  const analysis::MclRegion region = analysis::find_mcl_region(src);
+
+  ckpt::EngineConfig cfg = engine_cfg("eng_sparse");
+  cfg.async = false;
+  cfg.full_every = 1 << 20;
+  {
+    ckpt::CheckpointEngine cleaner(cfg);
+    cleaner.reset();
+  }
+  const auto r = apps::run_with_engine(module, region, {"x", "s", "it"}, cfg);
+  EXPECT_EQ(r.run.exit_code, 0);
+  EXPECT_GT(r.stats.delta_checkpoints, 0);
+  // Full stream would capture 66 cells per commit; sparse deltas carry ~3.
+  const std::uint64_t full_cells =
+      66u * static_cast<std::uint64_t>(r.stats.checkpoints);
+  EXPECT_LT(r.stats.cells_captured, full_cells / 4);
+  EXPECT_LT(r.stats.l1_bytes, r.stats.full_equiv_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-level degradation
+// ---------------------------------------------------------------------------
+
+void corrupt_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr) << path;
+  std::fseek(f, 10, SEEK_SET);
+  std::fputc(0xFF, f);
+  std::fclose(f);
+}
+
+TEST(EngineLevels, L2FallsBackToPartnerWhenLocalCorrupt) {
+  const App& app = find_app("CG");
+  const apps::AnalysisRun run = analyze_app(app);
+  ckpt::EngineConfig cfg = engine_cfg("eng_l2");
+  cfg.partner_dir = partner_dir();
+  cfg.level = ckpt::EngineLevel::L2;
+  cfg.incremental = false;
+  cfg.async = false;
+
+  std::string reference;
+  {
+    vm::RunOptions ropts;
+    reference = vm::run_module(run.module, ropts).output;
+  }
+  {
+    ckpt::CheckpointEngine engine(cfg);
+    engine.reset();
+    engine.register_report(run.report);
+    vm::RunOptions ropts;
+    ropts.mcl = {run.region.function, run.region.begin_line, run.region.end_line};
+    ropts.engine = &engine;
+    ropts.fail_at_iteration = 4;  // CG's default NITER is 4
+    ASSERT_TRUE(vm::run_module(run.module, ropts).failed);
+    engine.flush();
+  }
+  // The node-local copy is corrupted; recovery must route to the partner.
+  corrupt_file(cfg.dir + "/" + cfg.tag + ".base.eng");
+
+  ckpt::CheckpointEngine restart(cfg);
+  ASSERT_TRUE(restart.has_checkpoint());
+  const ckpt::CheckpointImage img = restart.recover();
+  EXPECT_EQ(img.iteration(), 3);
+
+  vm::RunOptions ropts;
+  ropts.mcl = {run.region.function, run.region.begin_line, run.region.end_line};
+  ropts.restore = &img;
+  EXPECT_EQ(vm::run_module(run.module, ropts).output, reference);
+}
+
+TEST(EngineLevels, L3ArchiveIsTheLastResort) {
+  const App& app = find_app("IS");
+  const apps::AnalysisRun run = analyze_app(app);
+  ckpt::EngineConfig cfg = engine_cfg("eng_l3");
+  cfg.partner_dir = partner_dir();
+  cfg.level = ckpt::EngineLevel::L3;
+  cfg.full_every = 3;
+
+  std::string reference;
+  {
+    vm::RunOptions ropts;
+    reference = vm::run_module(run.module, ropts).output;
+  }
+  {
+    ckpt::CheckpointEngine engine(cfg);
+    engine.reset();
+    engine.register_report(run.report);
+    vm::RunOptions ropts;
+    ropts.mcl = {run.region.function, run.region.begin_line, run.region.end_line};
+    ropts.engine = &engine;
+    ropts.fail_at_iteration = 6;
+    ASSERT_TRUE(vm::run_module(run.module, ropts).failed);
+    engine.flush();
+  }
+  // Both the local and the partner base are gone: only the archive remains.
+  std::remove((cfg.dir + "/" + cfg.tag + ".base.eng").c_str());
+  std::remove((cfg.partner_dir + "/" + cfg.tag + ".base.eng").c_str());
+
+  ckpt::CheckpointEngine restart(cfg);
+  ASSERT_TRUE(restart.has_checkpoint());
+  const ckpt::CheckpointImage img = restart.recover();
+  EXPECT_EQ(img.iteration(), 5);
+
+  vm::RunOptions ropts;
+  ropts.mcl = {run.region.function, run.region.begin_line, run.region.end_line};
+  ropts.restore = &img;
+  EXPECT_EQ(vm::run_module(run.module, ropts).output, reference);
+}
+
+TEST(EngineLevels, TornDeltaChainRollsBackToLastGoodPrefix) {
+  const App& app = find_app("SP");
+  const apps::AnalysisRun run = analyze_app(app);
+  ckpt::EngineConfig cfg = engine_cfg("eng_torn");
+  cfg.async = false;
+  cfg.full_every = 1 << 20;  // one base + delta chain
+  {
+    ckpt::CheckpointEngine engine(cfg);
+    engine.reset();
+    engine.register_report(run.report);
+    vm::RunOptions ropts;
+    ropts.mcl = {run.region.function, run.region.begin_line, run.region.end_line};
+    ropts.engine = &engine;
+    ropts.fail_at_iteration = 6;
+    ASSERT_TRUE(vm::run_module(run.module, ropts).failed);
+  }
+  // Commits: base@1 then deltas 1..4 (@2..@5). Corrupting delta 3 must cut
+  // the recoverable chain at iteration 3 — later deltas depend on it.
+  corrupt_file(cfg.dir + "/" + cfg.tag + ".delta.3.eng");
+  ckpt::CheckpointEngine restart(cfg);
+  EXPECT_EQ(restart.recover().iteration(), 3);
+}
+
+}  // namespace
+}  // namespace ac

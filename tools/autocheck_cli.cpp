@@ -11,6 +11,7 @@
 // declaration lines, and the per-phase analysis cost (paper Table III).
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 
 #include "analysis/autocheck.hpp"
@@ -24,7 +25,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: autocheck <trace-file> --function <name> --begin <line> --end <line>\n"
                "                 [--parallel [threads]] [--paper-mli] [--dot <out.dot>]\n"
-               "                 [--events <n>] [--json]\n"
+               "                 [--events <n>] [--json] [--emit-protect]\n"
                "       autocheck <trace-file> --suggest     # rank candidate main loops\n");
   return 2;
 }
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
   int show_events = 0;
   bool suggest = false;
   bool json = false;
+  bool emit_protect = false;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +73,8 @@ int main(int argc, char** argv) {
       suggest = true;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--emit-protect") {
+      emit_protect = true;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return usage();
@@ -92,6 +96,41 @@ int main(int argc, char** argv) {
   if (region.begin_line <= 0 || region.end_line < region.begin_line) return usage();
 
   try {
+    if (emit_protect) {
+      // The paper's downstream story as a one-liner: turn the analysis into
+      // the CheckpointEngine registration calls (FTI-style Protect()), with
+      // each critical variable's live arena address and footprint pulled
+      // from its last Alloca in the trace.
+      const auto records = opts.parallel_read
+                               ? ac::trace::read_trace_file_parallel(trace_path, opts.read_threads)
+                               : ac::trace::read_trace_file(trace_path);
+      const ac::analysis::Report report = ac::analysis::analyze_records(records, region, opts);
+      // One sweep: the last Alloca per variable name in the MCL host function
+      // (or globals) is the binding live at the loop.
+      std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> allocas;  // name -> (addr, bytes)
+      for (const auto& rec : records) {
+        if (rec.opcode != ac::trace::Opcode::Alloca) continue;
+        if (rec.func != region.function && rec.func != "<global>") continue;
+        const auto* result = rec.find(ac::trace::OperandSlot::Result);
+        if (!result) continue;
+        const auto* size = rec.input(1);
+        allocas[result->name] = {result->value.addr,
+                                 size ? static_cast<std::uint64_t>(size->value.i) : 0};
+      }
+      std::printf("// CheckpointEngine registration for %s (function %s, lines %d..%d)\n",
+                  trace_path.c_str(), region.function.c_str(), region.begin_line,
+                  region.end_line);
+      for (const auto& cv : report.critical()) {
+        const auto it = allocas.find(cv.name);
+        const std::uint64_t addr = it != allocas.end() ? it->second.first : 0;
+        const std::uint64_t bytes =
+            it != allocas.end() && it->second.second ? it->second.second : cv.bytes;
+        std::printf("engine.protect(\"%s\");  // addr 0x%llx, %llu bytes, %s\n", cv.name.c_str(),
+                    static_cast<unsigned long long>(addr),
+                    static_cast<unsigned long long>(bytes), ac::analysis::dep_type_name(cv.type));
+      }
+      return 0;
+    }
     const ac::analysis::Report report = ac::analysis::analyze_file(trace_path, region, opts);
     std::printf("%s", json ? report.to_json().c_str() : report.render().c_str());
     if (show_events > 0) {
