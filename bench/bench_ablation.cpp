@@ -62,8 +62,10 @@ int main() {
         apps::analyze_app_via_file(app, params, "/tmp/ac_ablation_cg.trace");
     const double file_s = t.seconds();
 
-    analysis::AutoCheckOptions par;
-    par.parallel_read = true;
+    // Ablate only the §V-A parallel read (read_threads, not threads, so the
+    // sharded classification stays off and the variants differ in one knob).
+    analysis::AnalysisOptions par;
+    par.read_threads = analysis::default_thread_count();
     t.reset();
     const apps::FileAnalysisRun file_parallel =
         apps::analyze_app_via_file(app, params, "/tmp/ac_ablation_cg_p.trace", par);

@@ -7,7 +7,7 @@
 //   * the identified critical variables {r, a, sum, it} (§IV-C).
 #include <cstdio>
 
-#include "analysis/autocheck.hpp"
+#include "analysis/session.hpp"
 #include "minic/compiler.hpp"
 #include "trace/writer.hpp"
 #include "vm/interp.hpp"
@@ -86,7 +86,8 @@ int main() {
     }
   }
 
-  const analysis::Report report = analysis::analyze_records(sink.records(), region);
+  const analysis::Report report =
+      analysis::Session().records(sink.records()).region(region).run();
 
   std::printf("\n--- MLI variables (pre-processing, Fig. 3) ---\n  ");
   for (const auto& m : report.pre.mli) std::printf("%s ", m.name.c_str());

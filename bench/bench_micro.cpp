@@ -1,11 +1,12 @@
 // Google-benchmark microbenchmarks for the pipeline's moving parts: VM
 // tracing throughput, trace serialization/parsing (serial vs OpenMP),
-// dependency-analysis replay, Algorithm-1 contraction, classification, and
-// checkpoint I/O. These back the paper's observation that analysis time is
-// linear in trace size with parsing dominant.
+// dependency-analysis replay, Algorithm-1 contraction, classification
+// (sequential and sharded-parallel), and checkpoint I/O. These back the
+// paper's observation that analysis time is linear in trace size with
+// parsing dominant — and show the identify phase scaling with threads.
 #include <benchmark/benchmark.h>
 
-#include "analysis/autocheck.hpp"
+#include "analysis/session.hpp"
 #include "apps/harness.hpp"
 #include "ckpt/ftilite.hpp"
 #include "minic/compiler.hpp"
@@ -141,16 +142,39 @@ void BM_Classify(benchmark::State& state) {
 }
 BENCHMARK(BM_Classify);
 
+void BM_ClassifySharded(benchmark::State& state) {
+  // The Session pipeline's parallel identify stage: the MLI event stream is
+  // sharded per variable and the shards classified concurrently. Arg = worker
+  // count; Arg(1) is the sequential baseline. Uses a larger CG instance so
+  // each shard amortizes its thread. On a single-core container the scaling
+  // shows in the CPU column / items_per_second (per-worker cost halves),
+  // like the OpenMP-read caveat in bench_table3.
+  static Fixture f("CG", {{"N", "40"}, {"NITER", "6"}, {"CGITMAX", "8"}});
+  auto pre = analysis::preprocess(f.records, f.region);
+  analysis::DepOptions opts;
+  opts.build_ddg = false;
+  auto dep = analysis::dep_analysis(f.records, pre, f.region, opts);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto verdicts = analysis::classify_sharded(dep, pre, threads);
+    benchmark::DoNotOptimize(verdicts.critical.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dep.events.size()));
+}
+BENCHMARK(BM_ClassifySharded)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_EndToEndAnalysis(benchmark::State& state) {
   // Scale the CG problem to show linearity in trace size.
   static Fixture small("CG", {{"N", "12"}, {"NITER", "3"}, {"CGITMAX", "3"}});
   static Fixture medium("CG", {{"N", "24"}, {"NITER", "4"}, {"CGITMAX", "5"}});
   static Fixture large("CG", {{"N", "40"}, {"NITER", "6"}, {"CGITMAX", "8"}});
   const Fixture* f = state.range(0) == 0 ? &small : (state.range(0) == 1 ? &medium : &large);
-  analysis::AutoCheckOptions opts;
+  analysis::AnalysisOptions opts;
   opts.build_ddg = false;
   for (auto _ : state) {
-    auto report = analysis::analyze_records(f->records, f->region, opts);
+    auto report =
+        analysis::Session().records(f->records).region(f->region).options(opts).run();
     benchmark::DoNotOptimize(report.verdicts.critical.size());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *

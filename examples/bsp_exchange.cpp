@@ -12,8 +12,9 @@
 //
 // Build & run:  ./examples/bsp_exchange
 #include <cstdio>
+#include <utility>
 
-#include "analysis/autocheck.hpp"
+#include "analysis/session.hpp"
 #include "minic/compiler.hpp"
 #include "trace/writer.hpp"
 #include "vm/interp.hpp"
@@ -67,8 +68,10 @@ int main() {
   opts.sink = &trace;
   ac::vm::run_module(module, opts);
 
-  const ac::analysis::Report report =
-      ac::analysis::analyze_records(trace.records(), ac::analysis::find_mcl_region(source));
+  const ac::analysis::Report report = ac::analysis::Session()
+                                          .records(std::move(trace.records()))
+                                          .region_from_markers(source)
+                                          .run();
 
   std::printf("=== BSP halo exchange (paper 7, 'MPI programs') ===\n\n%s\n",
               report.render().c_str());

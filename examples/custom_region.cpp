@@ -7,7 +7,7 @@
 // Build & run:  ./examples/custom_region
 #include <cstdio>
 
-#include "analysis/autocheck.hpp"
+#include "analysis/session.hpp"
 #include "minic/compiler.hpp"
 #include "trace/writer.hpp"
 #include "vm/interp.hpp"
@@ -47,12 +47,15 @@ int main() {
   opts.sink = &trace;
   ac::vm::run_module(module, opts);
 
+  // One MemorySource (borrowed, zero-copy) serves both region analyses; each
+  // run() is an independent Session over the same trace.
   auto analyze = [&](const char* label, int begin, int end) {
     ac::analysis::MclRegion region;
     region.function = "main";
     region.begin_line = begin;
     region.end_line = end;
-    const auto report = ac::analysis::analyze_records(trace.records(), region);
+    const auto report =
+        ac::analysis::Session().records(trace.records()).region(region).run();
     std::printf("=== %s (lines %d-%d) ===\n", label, begin, end);
     std::printf("%s\n", report.render().c_str());
   };

@@ -2,13 +2,13 @@
 //
 //   1. Compile a MiniC program (the paper's Fig. 4 example).
 //   2. Execute it under the tracing VM -> dynamic instruction trace.
-//   3. Run AutoCheck with the main loop's source-line range.
+//   3. Run an analysis::Session with the main loop's source-line range.
 //   4. Read off the variables to checkpoint.
 //
 // Build & run:  ./examples/quickstart
 #include <cstdio>
 
-#include "analysis/autocheck.hpp"
+#include "analysis/session.hpp"
 #include "minic/compiler.hpp"
 #include "trace/writer.hpp"
 #include "vm/interp.hpp"
@@ -60,10 +60,15 @@ int main() {
   std::printf("dynamic instructions traced: %llu\n\n",
               static_cast<unsigned long long>(trace.count()));
 
-  // 3. Analyze. The MCL region comes from the source markers here; in general
-  //    the user supplies the host function and start/end line numbers.
-  const ac::analysis::MclRegion region = ac::analysis::find_mcl_region(source);
-  const ac::analysis::Report report = ac::analysis::analyze_records(trace.records(), region);
+  // 3. Analyze through the Session pipeline. The MCL region comes from the
+  //    source markers here; in general the user supplies the host function
+  //    and start/end line numbers. The same Session accepts a .file() trace
+  //    or a .live() execution, and options({.threads = N}) parallelizes both
+  //    the read and the classification stage.
+  const ac::analysis::Report report = ac::analysis::Session()
+                                          .records(trace.records())
+                                          .region_from_markers(source)
+                                          .run();
 
   // 4. The verdict: which variables a C/R library must protect.
   std::printf("%s", report.render().c_str());

@@ -1,8 +1,7 @@
 #include "analysis/autocheck.hpp"
 
+#include "analysis/session.hpp"
 #include "support/strings.hpp"
-#include "support/timer.hpp"
-#include "trace/reader.hpp"
 
 namespace ac::analysis {
 
@@ -101,45 +100,17 @@ std::string Report::render_events(std::size_t max_events) const {
   return out;
 }
 
-namespace {
-
-Report analyze_parsed(std::vector<trace::TraceRecord> const& records, const MclRegion& region,
-                      const AutoCheckOptions& opts, double parse_seconds) {
-  Report report;
-  report.region = region;
-
-  WallTimer timer;
-  report.pre = preprocess(records, region, opts.mli_mode);
-  report.timings.preprocessing = parse_seconds + timer.seconds();
-
-  timer.reset();
-  DepOptions dep_opts;
-  dep_opts.build_ddg = opts.build_ddg;
-  report.dep = dep_analysis(records, report.pre, region, dep_opts);
-  report.timings.dep_analysis = timer.seconds();
-
-  timer.reset();
-  report.verdicts = classify(report.dep, report.pre);
-  if (opts.build_ddg) report.contracted = report.dep.complete.contract();
-  report.timings.identify = timer.seconds();
-  return report;
-}
-
-}  // namespace
+// The legacy facade, as thin wrappers over the Session pipeline (no behavior
+// change: same phases, same timing attribution, same verdicts).
 
 Report analyze_records(const std::vector<trace::TraceRecord>& records, const MclRegion& region,
                        const AutoCheckOptions& opts) {
-  return analyze_parsed(records, region, opts, 0.0);
+  return Session().records(records).region(region).options(opts).run();
 }
 
 Report analyze_file(const std::string& path, const MclRegion& region,
                     const AutoCheckOptions& opts) {
-  WallTimer timer;
-  const std::vector<trace::TraceRecord> records =
-      opts.parallel_read ? trace::read_trace_file_parallel(path, opts.read_threads)
-                         : trace::read_trace_file(path);
-  const double parse_seconds = timer.seconds();
-  return analyze_parsed(records, region, opts, parse_seconds);
+  return Session().file(path).region(region).options(opts).run();
 }
 
 }  // namespace ac::analysis

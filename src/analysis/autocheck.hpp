@@ -1,6 +1,11 @@
 // AutoCheck facade (paper Fig. 2): pre-processing -> data dependency analysis
 // -> identification of critical variables, with the per-phase wall-clock
 // breakdown that Table III reports.
+//
+// The entry points below are thin wrappers over the unified pipeline in
+// analysis/session.hpp (Session + TraceSource + ReportSink); new code should
+// use Session directly — it adds pluggable sources/sinks and the parallel
+// sharded classification behind AnalysisOptions::threads.
 #pragma once
 
 #include <string>
@@ -13,12 +18,19 @@
 
 namespace ac::analysis {
 
+struct AnalysisOptions;  // session.hpp
+
+/// Legacy options, superseded by AnalysisOptions (session.hpp), into which
+/// they convert implicitly.
 struct AutoCheckOptions {
   MliMode mli_mode = MliMode::AddressResolved;
   bool build_ddg = true;
   /// analyze_file() only: parse the trace with the §V-A OpenMP optimization.
   bool parallel_read = false;
-  int read_threads = 0;  // 0 = runtime default
+  int read_threads = 0;  // 0 = runtime default; honored with or without parallel_read
+
+  /// Upgrade to the Session pipeline's options (defined in session.cpp).
+  operator AnalysisOptions() const;  // NOLINT(google-explicit-constructor)
 };
 
 struct Timings {

@@ -2,7 +2,9 @@
 
 #include "support/strings.hpp"
 
+#include <algorithm>
 #include <map>
+#include <thread>
 #include <tuple>
 #include <set>
 #include <unordered_map>
@@ -32,15 +34,19 @@ struct VarVerdict {
   std::string outcome_reason;
 };
 
-}  // namespace
-
-ClassifyResult classify(const DepResult& dep, const PreprocessResult& pre) {
+/// The dataflow scan over a subset of the event stream. Every piece of state
+/// is keyed by variable, so running it over any variable-complete subset (all
+/// events of each contained variable, in execution order) yields exactly the
+/// verdicts the full-stream scan assigns those variables — the invariant the
+/// sharded path relies on.
+std::unordered_map<int, VarVerdict> scan_events(const AccessEvent* events, std::size_t count) {
   // Pass 1: per variable, which elements each iteration writes (Part B only),
   // so the RAPO test can ask "is this element refreshed by the current
   // iteration at all?" without caring about intra-iteration ordering.
   std::unordered_map<int, std::map<int, std::set<std::int64_t>>> written_by_iter;
   std::unordered_set<int> written_in_b;
-  for (const AccessEvent& ev : dep.events) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const AccessEvent& ev = events[i];
     if (ev.part == Part::B && ev.is_write) {
       written_by_iter[ev.var][ev.iteration].insert(ev.elem);
       written_in_b.insert(ev.var);
@@ -53,7 +59,8 @@ ClassifyResult classify(const DepResult& dep, const PreprocessResult& pre) {
   std::unordered_map<int, int> cur_iter_of_var;
   std::unordered_map<int, int> writes_so_far;  // within the variable's current iteration
 
-  for (const AccessEvent& ev : dep.events) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const AccessEvent& ev = events[i];
     VarVerdict& v = verdicts[ev.var];
 
     if (ev.part == Part::C) {
@@ -103,7 +110,13 @@ ClassifyResult classify(const DepResult& dep, const PreprocessResult& pre) {
                w->second, ev.line, ev.iteration);
     }
   }
+  return verdicts;
+}
 
+/// Deterministic assembly of the final verdict list from the per-variable
+/// scan results: MLI discovery order with Index-only variables appended.
+ClassifyResult assemble(const std::unordered_map<int, VarVerdict>& verdicts,
+                        const DepResult& dep, const PreprocessResult& pre) {
   // Index variables: read by the header condition and written inside the loop.
   std::set<int> index_vars;
   for (int var : dep.induction.cond_read) {
@@ -154,6 +167,58 @@ ClassifyResult classify(const DepResult& dep, const PreprocessResult& pre) {
     out.critical.push_back(cv);
   }
   return out;
+}
+
+}  // namespace
+
+ClassifyResult classify(const DepResult& dep, const PreprocessResult& pre) {
+  return assemble(scan_events(dep.events.data(), dep.events.size()), dep, pre);
+}
+
+ClassifyResult classify_sharded(const DepResult& dep, const PreprocessResult& pre, int threads) {
+  // More shards than MLI variables only produces empty shards, and an
+  // unbounded user-supplied count must not translate into thousands of
+  // threads — clamp to something a machine can always deliver.
+  threads = std::min({threads, 256, std::max<int>(1, static_cast<int>(pre.mli.size()))});
+  if (threads <= 1 || dep.events.empty()) return classify(dep, pre);
+
+  // Partition the event stream per variable (var -> shard by id), preserving
+  // execution order within each shard. Each shard is variable-complete: every
+  // event of a variable lands in the same shard, which is all scan_events()
+  // needs to reproduce the sequential verdict for that variable.
+  const std::size_t nshards = static_cast<std::size_t>(threads);
+  std::vector<std::vector<AccessEvent>> shards(nshards);
+  for (auto& shard : shards) shard.reserve(dep.events.size() / nshards + 1);
+  for (const AccessEvent& ev : dep.events) {
+    shards[static_cast<std::size_t>(ev.var) % nshards].push_back(ev);
+  }
+
+  std::vector<std::unordered_map<int, VarVerdict>> partial(nshards);
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(nshards);
+    // Joins whatever got started even when a later pthread_create fails, so
+    // the resource-exhaustion error propagates instead of std::terminate.
+    struct Joiner {
+      std::vector<std::thread>& pool;
+      ~Joiner() {
+        for (auto& t : pool) {
+          if (t.joinable()) t.join();
+        }
+      }
+    } joiner{pool};
+    for (std::size_t s = 0; s < nshards; ++s) {
+      pool.emplace_back([&, s] { partial[s] = scan_events(shards[s].data(), shards[s].size()); });
+    }
+  }
+
+  // Shards own disjoint variable sets, so the merge is a plain union; the
+  // deterministic ordering comes from assemble(), not from merge order.
+  std::unordered_map<int, VarVerdict> verdicts;
+  for (auto& p : partial) {
+    for (auto& [var, v] : p) verdicts.emplace(var, std::move(v));
+  }
+  return assemble(verdicts, dep, pre);
 }
 
 }  // namespace ac::analysis

@@ -51,4 +51,13 @@ struct ClassifyResult {
 
 ClassifyResult classify(const DepResult& dep, const PreprocessResult& pre);
 
+/// Parallel sharded classification: the per-variable event streams are
+/// independent (every map the scan keeps is keyed by variable), so the event
+/// stream is partitioned per variable into `threads` shards, the shards are
+/// scanned concurrently, and the per-variable verdicts are merged back in MLI
+/// discovery order. Bit-identical to classify() by construction — same scan
+/// per variable, same deterministic assembly. `threads` <= 1 is the
+/// sequential path.
+ClassifyResult classify_sharded(const DepResult& dep, const PreprocessResult& pre, int threads);
+
 }  // namespace ac::analysis

@@ -1,47 +1,16 @@
 #include "analysis/streaming.hpp"
 
-#include "support/error.hpp"
-#include "support/timer.hpp"
-
 namespace ac::analysis {
 
 StreamingAutoCheck::StreamingAutoCheck(const MclRegion& region, const AutoCheckOptions& opts)
-    : region_(region), opts_(opts), collector_(region, opts.mli_mode) {
-  report_.region = region;
-}
+    : stream_(region, opts) {}
 
-void StreamingAutoCheck::pass1_add(const trace::TraceRecord& rec) {
-  // Hot path: no per-record timing (phase costs are attributed by the caller
-  // around whole passes; see apps::analyze_app_streaming).
-  collector_.add(rec);
-}
+void StreamingAutoCheck::pass1_add(const trace::TraceRecord& rec) { stream_.pass1_add(rec); }
 
-void StreamingAutoCheck::finish_pass1() {
-  AC_CHECK(!pass1_done_, "finish_pass1 called twice");
-  WallTimer t;
-  report_.pre = collector_.finish();
-  DepOptions dep_opts;
-  dep_opts.build_ddg = opts_.build_ddg;
-  analyzer_ = std::make_unique<DepAnalyzer>(report_.pre, region_, dep_opts);
-  pass1_seconds_ += t.seconds();
-  pass1_done_ = true;
-}
+void StreamingAutoCheck::finish_pass1() { stream_.finish_pass1(); }
 
-void StreamingAutoCheck::pass2_add(const trace::TraceRecord& rec) {
-  AC_CHECK(pass1_done_, "pass2_add before finish_pass1");
-  analyzer_->add(rec);
-}
+void StreamingAutoCheck::pass2_add(const trace::TraceRecord& rec) { stream_.pass2_add(rec); }
 
-Report StreamingAutoCheck::finish() {
-  AC_CHECK(pass1_done_, "finish before finish_pass1");
-  WallTimer t;
-  report_.dep = analyzer_->finish();
-  report_.verdicts = classify(report_.dep, report_.pre);
-  if (opts_.build_ddg) report_.contracted = report_.dep.complete.contract();
-  report_.timings.preprocessing = pass1_seconds_;
-  report_.timings.dep_analysis = pass2_seconds_;
-  report_.timings.identify = t.seconds();
-  return std::move(report_);
-}
+Report StreamingAutoCheck::finish() { return stream_.finish(); }
 
 }  // namespace ac::analysis

@@ -13,10 +13,13 @@
 // equivalence is verified by tests over all 14 benchmarks.
 #pragma once
 
-#include "analysis/autocheck.hpp"
+#include "analysis/session.hpp"
 
 namespace ac::analysis {
 
+/// Legacy wrapper over SessionStream (the Session pipeline's push-based
+/// incremental mode); kept for source compatibility. New code should use
+/// Session with a LiveSource, or SessionStream directly.
 class StreamingAutoCheck {
  public:
   explicit StreamingAutoCheck(const MclRegion& region, const AutoCheckOptions& opts = {});
@@ -34,14 +37,7 @@ class StreamingAutoCheck {
   Report finish();
 
  private:
-  MclRegion region_;
-  AutoCheckOptions opts_;
-  Report report_;
-  MliCollector collector_;
-  std::unique_ptr<DepAnalyzer> analyzer_;
-  double pass1_seconds_ = 0;
-  double pass2_seconds_ = 0;
-  bool pass1_done_ = false;
+  SessionStream stream_;
 };
 
 }  // namespace ac::analysis

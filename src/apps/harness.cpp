@@ -1,7 +1,5 @@
 #include "apps/harness.hpp"
 
-#include "analysis/streaming.hpp"
-
 #include "ckpt/ftilite.hpp"
 #include "minic/compiler.hpp"
 #include "support/error.hpp"
@@ -24,7 +22,7 @@ vm::MclRegion to_vm_region(const analysis::MclRegion& r) {
 }  // namespace
 
 AnalysisRun analyze_app(const App& app, const Params& params,
-                        const analysis::AutoCheckOptions& opts) {
+                        const analysis::AnalysisOptions& opts) {
   AnalysisRun run;
   const std::string src = app.source(params);
   run.module = minic::compile(src);
@@ -35,47 +33,36 @@ AnalysisRun analyze_app(const App& app, const Params& params,
   ropts.sink = &sink;
   run.trace_run = vm::run_module(run.module, ropts);
   run.trace_records = sink.count();
-  run.report = analysis::analyze_records(sink.records(), run.region, opts);
+  run.report = analysis::Session()
+                   .records(std::move(sink.records()))
+                   .region(run.region)
+                   .options(opts)
+                   .run();
   return run;
 }
 
 StreamingRun analyze_app_streaming(const App& app, const Params& params,
-                                   const analysis::AutoCheckOptions& opts) {
+                                   const analysis::AnalysisOptions& opts) {
   StreamingRun run;
   const std::string src = app.source(params);
   run.module = minic::compile(src);
   run.region = app.mcl();
 
-  analysis::StreamingAutoCheck streaming(run.region, opts);
-  WallTimer timer;
-  {
-    trace::CallbackSink sink([&](const trace::TraceRecord& rec) { streaming.pass1_add(rec); });
+  // The VM is the LiveSource generator: each analysis pass re-executes the
+  // deterministic program, and no trace is materialized, in memory or on disk.
+  auto source = std::make_shared<trace::LiveSource>([&run](trace::TraceSink& sink) {
     vm::RunOptions ropts;
     ropts.sink = &sink;
     vm::run_module(run.module, ropts);
-    run.records_streamed = sink.count();
-  }
-  streaming.finish_pass1();
-  const double pass1 = timer.seconds();
-
-  timer.reset();
-  {
-    trace::CallbackSink sink([&](const trace::TraceRecord& rec) { streaming.pass2_add(rec); });
-    vm::RunOptions ropts;
-    ropts.sink = &sink;
-    vm::run_module(run.module, ropts);
-  }
-  const double pass2 = timer.seconds();
-
-  run.report = streaming.finish();
-  run.report.timings.preprocessing = pass1;
-  run.report.timings.dep_analysis = pass2;
+  });
+  run.report = analysis::Session().source(source).region(run.region).options(opts).run();
+  run.records_streamed = source->record_count();
   return run;
 }
 
 FileAnalysisRun analyze_app_via_file(const App& app, const Params& params,
                                      const std::string& trace_path,
-                                     const analysis::AutoCheckOptions& opts) {
+                                     const analysis::AnalysisOptions& opts) {
   FileAnalysisRun out;
   const std::string src = app.source(params);
   const ir::Module module = minic::compile(src);
@@ -92,7 +79,7 @@ FileAnalysisRun analyze_app_via_file(const App& app, const Params& params,
   }
   out.trace_generation_seconds = gen_timer.seconds();
 
-  out.report = analysis::analyze_file(trace_path, app.mcl(), opts);
+  out.report = analysis::Session().file(trace_path).region(app.mcl()).options(opts).run();
   return out;
 }
 

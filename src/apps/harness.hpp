@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/autocheck.hpp"
+#include "analysis/session.hpp"
 #include "apps/app.hpp"
 #include "ckpt/blcr.hpp"
 #include "ckpt/engine.hpp"
@@ -18,7 +18,11 @@
 
 namespace ac::apps {
 
-/// Compile + trace + analyze one benchmark instance.
+/// Compile + trace + analyze one benchmark instance. All three analyze_*
+/// flavors run the analysis::Session pipeline — over a MemorySource, a
+/// LiveSource, or a FileSource respectively — so every capability
+/// (AnalysisOptions::threads parallelism included) is available from each.
+/// Legacy AutoCheckOptions convert implicitly at every opts parameter.
 struct AnalysisRun {
   ir::Module module;
   analysis::MclRegion region;
@@ -28,7 +32,7 @@ struct AnalysisRun {
 };
 
 AnalysisRun analyze_app(const App& app, const Params& params = {},
-                        const analysis::AutoCheckOptions& opts = {});
+                        const analysis::AnalysisOptions& opts = {});
 
 /// Trace-file-free analysis (paper §IX future work, see
 /// analysis/streaming.hpp): the VM feeds the analyzer directly, executing the
@@ -44,7 +48,7 @@ struct StreamingRun {
 };
 
 StreamingRun analyze_app_streaming(const App& app, const Params& params = {},
-                                   const analysis::AutoCheckOptions& opts = {});
+                                   const analysis::AnalysisOptions& opts = {});
 
 /// Same, but stream the trace to `trace_path` and parse it back (the paper's
 /// actual file-based workflow; used for Tables II/III).
@@ -57,7 +61,7 @@ struct FileAnalysisRun {
 
 FileAnalysisRun analyze_app_via_file(const App& app, const Params& params,
                                      const std::string& trace_path,
-                                     const analysis::AutoCheckOptions& opts = {});
+                                     const analysis::AnalysisOptions& opts = {});
 
 /// C/R validation: checkpoint `protect` every iteration, fail at iteration
 /// `fail_at`, restart from the last checkpoint, diff final outputs.

@@ -88,6 +88,7 @@ std::vector<TraceRecord> read_trace_text_parallel(std::string_view text, int num
 
   int threads = num_threads > 0 ? num_threads : omp_get_max_threads();
   if (threads < 1) threads = 1;
+  if (threads > 256) threads = 256;  // a runaway request must not exhaust thread stacks
   const std::size_t want_chunks = static_cast<std::size_t>(threads) * 4;
 
   // Partition at block-header boundaries so no instruction block is split

@@ -1,0 +1,88 @@
+#include "trace/source.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/timer.hpp"
+#include "trace/reader.hpp"
+
+namespace ac::trace {
+
+void TraceSource::for_each(const std::function<void(const TraceRecord&)>& fn) {
+  for (const TraceRecord& rec : records()) fn(rec);
+}
+
+namespace {
+
+/// Read-only mmap of a whole file; falls back to a heap copy when mapping is
+/// unavailable (empty file, non-regular file, exotic filesystem). Either way
+/// view() is valid until destruction; TraceRecords own their strings, so the
+/// mapping can be dropped as soon as parsing finishes.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw Error("cannot open file: " + path);
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+      void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ, MAP_PRIVATE, fd, 0);
+      if (p != MAP_FAILED) {
+        map_ = p;
+        size_ = static_cast<std::size_t>(st.st_size);
+      }
+    }
+    ::close(fd);
+    if (!map_) fallback_ = read_file_bytes(path);
+  }
+  ~MappedFile() {
+    if (map_) ::munmap(map_, size_);
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::string_view view() const {
+    return map_ ? std::string_view(static_cast<const char*>(map_), size_)
+                : std::string_view(fallback_);
+  }
+
+ private:
+  void* map_ = nullptr;
+  std::size_t size_ = 0;
+  std::string fallback_;
+};
+
+}  // namespace
+
+FileSource::FileSource(std::string path, int read_threads)
+    : path_(std::move(path)), read_threads_(read_threads) {}
+
+const std::vector<TraceRecord>& FileSource::records() {
+  if (loaded_) return records_;
+  WallTimer timer;
+  const MappedFile file(path_);
+  records_ = read_threads_ > 1 ? read_trace_text_parallel(file.view(), read_threads_)
+                               : read_trace_text(file.view());
+  read_seconds_ = timer.seconds();
+  loaded_ = true;
+  return records_;
+}
+
+const std::vector<TraceRecord>& LiveSource::records() {
+  throw Error("LiveSource: a live trace stream cannot be materialized; "
+              "use for_each() (the Session runs its two-pass pipeline)");
+}
+
+void LiveSource::for_each(const std::function<void(const TraceRecord&)>& fn) {
+  WallTimer timer;
+  CallbackSink sink(fn);
+  gen_(sink);
+  pass_seconds_ = timer.seconds();
+  pass_records_ = sink.count();
+}
+
+}  // namespace ac::trace

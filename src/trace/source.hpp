@@ -1,0 +1,121 @@
+// Trace sources: where an analysis gets its record stream from.
+//
+// The polymorphic counterpart of trace/writer.hpp's TraceSink family: a
+// TraceSource abstracts over the three ways a trace reaches the analysis —
+// a trace file on disk (the paper's workflow, with the §V-A parallel read),
+// records already materialized in memory, and a live instrumented execution
+// that re-produces the stream on demand (the paper's §IX future work).
+// analysis::Session consumes any of them through this one interface.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "trace/writer.hpp"
+
+namespace ac::trace {
+
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Human-readable origin, e.g. "file:/tmp/cg.trace", "memory", "live".
+  virtual std::string describe() const = 0;
+
+  /// True when each pass re-produces records from an execution instead of
+  /// replaying memory; such sources cannot materialize the stream.
+  virtual bool live() const { return false; }
+
+  /// Worker budget for materialization (FileSource parses in parallel when
+  /// > 1); sources that never parse ignore it.
+  virtual void set_read_threads(int) {}
+
+  /// Materialize the full record stream. Cached: repeated calls return the
+  /// same vector. Throws ac::Error for live sources.
+  virtual const std::vector<TraceRecord>& records() = 0;
+
+  /// One ordered pass over the stream, callable repeatedly (passes are
+  /// identical). Batch sources replay records(); live sources re-execute.
+  virtual void for_each(const std::function<void(const TraceRecord&)>& fn);
+
+  /// Seconds spent producing records in the most recent materialization or
+  /// pass — attributed to the pre-processing phase, as the paper attributes
+  /// trace parsing.
+  virtual double read_seconds() const { return 0; }
+
+  /// Records produced by the most recent materialization or pass.
+  virtual std::uint64_t record_count() const = 0;
+};
+
+/// A trace file in the LLVM-Tracer block format. The file is mmap()ed (with a
+/// buffered-read fallback) and parsed lazily on first access — serially, or
+/// with the §V-A block-aligned parallel decomposition when the read-thread
+/// budget exceeds one.
+class FileSource final : public TraceSource {
+ public:
+  /// `read_threads` <= 1 parses serially; 0 keeps whatever set_read_threads()
+  /// later decides (Session forwards AnalysisOptions there).
+  explicit FileSource(std::string path, int read_threads = 0);
+
+  std::string describe() const override { return "file:" + path_; }
+  void set_read_threads(int n) override { read_threads_ = n; }
+  const std::vector<TraceRecord>& records() override;
+  double read_seconds() const override { return read_seconds_; }
+  std::uint64_t record_count() const override { return records_.size(); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int read_threads_ = 0;
+  bool loaded_ = false;
+  double read_seconds_ = 0;
+  std::vector<TraceRecord> records_;
+};
+
+/// Records already in memory: either borrowed from the caller (zero-copy; the
+/// caller keeps them alive for the Session's duration) or owned.
+class MemorySource final : public TraceSource {
+ public:
+  /// Borrow: the vector must outlive this source.
+  explicit MemorySource(const std::vector<TraceRecord>& records) : borrowed_(&records) {}
+  /// Own.
+  explicit MemorySource(std::vector<TraceRecord>&& records)
+      : owned_(std::move(records)), borrowed_(&owned_) {}
+
+  std::string describe() const override { return "memory"; }
+  const std::vector<TraceRecord>& records() override { return *borrowed_; }
+  std::uint64_t record_count() const override { return borrowed_->size(); }
+
+ private:
+  std::vector<TraceRecord> owned_;
+  const std::vector<TraceRecord>* borrowed_ = nullptr;
+};
+
+/// A live instrumented execution: the generator runs the program once,
+/// emitting every record into the provided sink. Each for_each() pass invokes
+/// the generator again — deterministic programs replay identically, so the
+/// two-pass streaming analysis never materializes the trace.
+class LiveSource final : public TraceSource {
+ public:
+  using Generator = std::function<void(TraceSink&)>;
+  explicit LiveSource(Generator gen) : gen_(std::move(gen)) {}
+
+  std::string describe() const override { return "live"; }
+  bool live() const override { return true; }
+  /// Throws ac::Error: a live stream is never materialized.
+  const std::vector<TraceRecord>& records() override;
+  void for_each(const std::function<void(const TraceRecord&)>& fn) override;
+  double read_seconds() const override { return pass_seconds_; }
+  std::uint64_t record_count() const override { return pass_records_; }
+
+ private:
+  Generator gen_;
+  double pass_seconds_ = 0;
+  std::uint64_t pass_records_ = 0;
+};
+
+}  // namespace ac::trace

@@ -1,33 +1,60 @@
 // The AutoCheck command-line tool — the paper's user-facing workflow:
 //
 //   autocheck <trace-file> --function <name> --begin <line> --end <line>
-//             [--parallel [threads]] [--paper-mli] [--dot <out.dot>]
-//             [--events <n>]
+//             [--threads <n> | --parallel [n]] [--paper-mli] [--dot <out.dot>]
+//             [--events <n>] [--json] [--emit-protect]
 //
 // Input: a dynamic instruction execution trace in the LLVM-Tracer block
 // format (generate one with `minicc <prog.mc> --trace <file>`), plus the main
 // computation loop's host function and source-line range.
 // Output: the variables to checkpoint with their dependency types, their
 // declaration lines, and the per-phase analysis cost (paper Table III).
+//
+// The tool is a thin shell over analysis::Session: one FileSource feeds every
+// mode (--suggest included), and the output modes are ReportSinks.
+// --threads N > 1 parallelizes both the trace read (§V-A) and the sharded
+// classification stage; --parallel [n] is the historical alias.
+#include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <map>
+#include <memory>
 #include <string>
 
-#include "analysis/autocheck.hpp"
 #include "analysis/loopfinder.hpp"
+#include "analysis/session.hpp"
 #include "support/error.hpp"
-#include "trace/reader.hpp"
+#include "trace/source.hpp"
 
 namespace {
 
 int usage() {
   std::fprintf(stderr,
                "usage: autocheck <trace-file> --function <name> --begin <line> --end <line>\n"
-               "                 [--parallel [threads]] [--paper-mli] [--dot <out.dot>]\n"
+               "                 [--threads <n> | --parallel [n]] [--paper-mli] [--dot <out.dot>]\n"
                "                 [--events <n>] [--json] [--emit-protect]\n"
                "       autocheck <trace-file> --suggest     # rank candidate main loops\n");
   return 2;
+}
+
+/// Checked numeric argument parse: rejects garbage, trailing junk and values
+/// below `min_value` with a clear error instead of silently using 0.
+int parse_int_arg(const std::string& flag, const char* text, int min_value) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < min_value || v > INT_MAX) {
+    std::fprintf(stderr, "autocheck: %s expects an integer >= %d, got '%s'\n", flag.c_str(),
+                 min_value, text);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
+bool looks_numeric(const char* text) {
+  return text && std::isdigit(static_cast<unsigned char>(text[0]));
 }
 
 }  // namespace
@@ -36,7 +63,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string trace_path = argv[1];
   ac::analysis::MclRegion region;
-  ac::analysis::AutoCheckOptions opts;
+  ac::analysis::AnalysisOptions opts;
   std::string dot_path;
   int show_events = 0;
   bool suggest = false;
@@ -55,20 +82,22 @@ int main(int argc, char** argv) {
     if (arg == "--function") {
       region.function = next();
     } else if (arg == "--begin") {
-      region.begin_line = std::atoi(next());
+      region.begin_line = parse_int_arg(arg, next(), 1);
     } else if (arg == "--end") {
-      region.end_line = std::atoi(next());
+      region.end_line = parse_int_arg(arg, next(), 1);
+    } else if (arg == "--threads") {
+      opts.threads = parse_int_arg(arg, next(), 1);
     } else if (arg == "--parallel") {
-      opts.parallel_read = true;
-      if (i + 1 < argc && std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
-        opts.read_threads = std::atoi(argv[++i]);
-      }
+      // Alias for --threads; without a count, use the runtime default.
+      opts.threads = (i + 1 < argc && looks_numeric(argv[i + 1]))
+                         ? parse_int_arg(arg, argv[++i], 1)
+                         : ac::analysis::default_thread_count();
     } else if (arg == "--paper-mli") {
       opts.mli_mode = ac::analysis::MliMode::PaperNameMatch;
     } else if (arg == "--dot") {
       dot_path = next();
     } else if (arg == "--events") {
-      show_events = std::atoi(next());
+      show_events = parse_int_arg(arg, next(), 0);  // 0 = suppress the event dump
     } else if (arg == "--suggest") {
       suggest = true;
     } else if (arg == "--json") {
@@ -80,69 +109,37 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
+
   try {
+    // One source serves every mode; the read (serial or parallel mmap parse)
+    // happens exactly once.
+    auto source = std::make_shared<ac::trace::FileSource>(trace_path);
+    source->set_read_threads(opts.effective_read_threads());
+
     if (suggest) {
-      const auto records = opts.parallel_read
-                               ? ac::trace::read_trace_file_parallel(trace_path, opts.read_threads)
-                               : ac::trace::read_trace_file(trace_path);
-      const auto candidates = ac::analysis::suggest_loops(records);
+      const auto candidates = ac::analysis::suggest_loops(source->records());
       std::printf("%s", ac::analysis::render_suggestions(candidates).c_str());
       return 0;
     }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "autocheck: %s\n", e.what());
-    return 1;
-  }
-  if (region.begin_line <= 0 || region.end_line < region.begin_line) return usage();
+    if (region.begin_line <= 0 || region.end_line < region.begin_line) return usage();
 
-  try {
+    ac::analysis::Session session;
+    session.source(source).region(region).options(opts);
     if (emit_protect) {
-      // The paper's downstream story as a one-liner: turn the analysis into
-      // the CheckpointEngine registration calls (FTI-style Protect()), with
-      // each critical variable's live arena address and footprint pulled
-      // from its last Alloca in the trace.
-      const auto records = opts.parallel_read
-                               ? ac::trace::read_trace_file_parallel(trace_path, opts.read_threads)
-                               : ac::trace::read_trace_file(trace_path);
-      const ac::analysis::Report report = ac::analysis::analyze_records(records, region, opts);
-      // One sweep: the last Alloca per variable name in the MCL host function
-      // (or globals) is the binding live at the loop.
-      std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> allocas;  // name -> (addr, bytes)
-      for (const auto& rec : records) {
-        if (rec.opcode != ac::trace::Opcode::Alloca) continue;
-        if (rec.func != region.function && rec.func != "<global>") continue;
-        const auto* result = rec.find(ac::trace::OperandSlot::Result);
-        if (!result) continue;
-        const auto* size = rec.input(1);
-        allocas[result->name] = {result->value.addr,
-                                 size ? static_cast<std::uint64_t>(size->value.i) : 0};
-      }
-      std::printf("// CheckpointEngine registration for %s (function %s, lines %d..%d)\n",
-                  trace_path.c_str(), region.function.c_str(), region.begin_line,
-                  region.end_line);
-      for (const auto& cv : report.critical()) {
-        const auto it = allocas.find(cv.name);
-        const std::uint64_t addr = it != allocas.end() ? it->second.first : 0;
-        const std::uint64_t bytes =
-            it != allocas.end() && it->second.second ? it->second.second : cv.bytes;
-        std::printf("engine.protect(\"%s\");  // addr 0x%llx, %llu bytes, %s\n", cv.name.c_str(),
-                    static_cast<unsigned long long>(addr),
-                    static_cast<unsigned long long>(bytes), ac::analysis::dep_type_name(cv.type));
-      }
-      return 0;
+      session.sink(std::make_shared<ac::analysis::ProtectSink>(stdout));
+    } else if (json) {
+      session.sink(std::make_shared<ac::analysis::JsonSink>(stdout));
+    } else {
+      session.sink(std::make_shared<ac::analysis::TextSink>(stdout));
     }
-    const ac::analysis::Report report = ac::analysis::analyze_file(trace_path, region, opts);
-    std::printf("%s", json ? report.to_json().c_str() : report.render().c_str());
+    if (!dot_path.empty()) session.sink(std::make_shared<ac::analysis::DotSink>(dot_path));
+
+    const ac::analysis::Report report = session.run();
     if (show_events > 0) {
       std::printf("\nR/W dependency sequence (first %d events):\n%s\n", show_events,
                   report.render_events(static_cast<std::size_t>(show_events)).c_str());
     }
     if (!dot_path.empty()) {
-      std::FILE* f = std::fopen(dot_path.c_str(), "wb");
-      if (!f) throw ac::Error("cannot write " + dot_path);
-      const std::string dot = report.contracted.to_dot();
-      std::fwrite(dot.data(), 1, dot.size(), f);
-      std::fclose(f);
       std::printf("contracted DDG written to %s\n", dot_path.c_str());
     }
   } catch (const std::exception& e) {
