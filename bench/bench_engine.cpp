@@ -1,22 +1,27 @@
-// Checkpoint-engine benchmark: storage and wall-clock comparison of three
-// C/R strategies on the mini-app suite, checkpointing every iteration —
+// Checkpoint-engine benchmark: storage comparison of the C/R strategies on
+// the mini-app suite, checkpointing every iteration —
 //
 //   BLCR-style   full machine image at every boundary (system-level C/R,
 //                the Table IV baseline: arena + frames + process pages);
 //   critical     only the AutoCheck-identified variables, full image per
 //                commit (application-level, FTI-style);
 //   incremental  critical variables, but only cells dirtied since the last
-//                commit (engine deltas between periodic full bases).
+//                commit (engine deltas between periodic full bases) — run
+//                once per payload codec chain (raw, rle, xor+rle,
+//                xor+rle+lz) to measure what each squeezes out of the
+//                dirty-cell stream;
 //
-// The paper's storage claim (Table IV) extends naturally: critical-only
-// checkpoints already beat the full image by orders of magnitude, and the
-// incremental engine writes strictly less than the BLCR-style stream on
-// every benchmark — and less than the critical-only full stream wherever an
-// iteration leaves part of the protected state untouched.
+// plus per-codec encode/decode throughput over each app's real protected
+// snapshot (base = first commit, input = last commit, the XOR-realistic
+// drift). `--smoke` runs a 4-app subset for CI logs: compression-ratio
+// regressions show up as a drop in the "apps improved" count, which is also
+// the exit status.
 #include <cstdio>
+#include <cstring>
 
 #include "apps/harness.hpp"
 #include "ckpt/blcr.hpp"
+#include "ckpt/codec.hpp"
 #include "minic/compiler.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -24,22 +29,86 @@
 
 using namespace ac;
 
-int main() {
-  std::printf("=== bench_engine: full-image vs critical-only vs incremental ===\n\n");
-  TextTable table({"Name", "BLCR stream", "Critical full", "Incremental", "Incr/Full",
-                   "Full s", "Incr s"});
+namespace {
+
+struct IncrResult {
+  std::uint64_t l1_bytes = 0;
+  std::uint64_t delta_bytes = 0;
+};
+
+IncrResult run_incremental(const ir::Module& module, const analysis::MclRegion& region,
+                           const std::vector<std::string>& protect, const std::string& tag,
+                           const ckpt::CodecChain& chain) {
+  ckpt::EngineConfig cfg;
+  cfg.dir = "/tmp";
+  cfg.tag = tag;
+  cfg.incremental = true;
+  cfg.full_every = 1 << 20;  // one base, then deltas only
+  cfg.async = false;
+  cfg.set_codecs(chain);
+  const apps::EngineRunResult r = apps::run_with_engine(module, region, protect, cfg);
+  IncrResult out;
+  out.l1_bytes = r.stats.l1_bytes;
+  out.delta_bytes = r.stats.l1_delta_bytes;
+  return out;
+}
+
+std::string snapshot_blob(const ckpt::CheckpointImage& img) {
+  std::string blob;
+  for (const auto& v : img.vars()) {
+    blob += ckpt::cells_to_bytes(v.cells.data(), v.cells.size());
+  }
+  return blob;
+}
+
+double mbps(std::size_t bytes, double seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  std::printf("=== bench_engine: full-image vs critical-only vs incremental-per-codec%s ===\n\n",
+              smoke ? " (smoke subset)" : "");
+
+  const std::vector<std::pair<std::string, ckpt::CodecChain>> codecs = {
+      {"raw", ckpt::CodecChain::parse("raw")},
+      {"rle", ckpt::CodecChain::parse("rle")},
+      {"xor+rle", ckpt::CodecChain::parse("xor+rle")},
+      {"xor+rle+lz", ckpt::CodecChain::parse("chain")},
+  };
+
+  TextTable table({"Name", "BLCR stream", "Critical full", "Incr raw", "Incr rle", "Incr xor+rle",
+                   "Incr chain", "Delta xor+rle/raw"});
+  TextTable tput({"Name", "Codec", "Ratio", "Enc MB/s", "Dec MB/s"});
 
   int incr_beats_blcr = 0;
-  int incr_beats_full = 0;
-  const auto& apps = apps::registry();
-  for (const auto& app : apps) {
+  int xorrle_beats_raw = 0;
+  std::vector<apps::App> suite;
+  for (const auto& app : apps::registry()) {
+    if (smoke && app.name != "Himeno" && app.name != "HPCCG" && app.name != "CG" &&
+        app.name != "IS") {
+      continue;
+    }
+    suite.push_back(app);
+  }
+
+  for (const auto& app : suite) {
     const apps::AnalysisRun run = apps::analyze_app(app, app.table4_params);
     const auto protect = run.report.critical_names();
     const std::string src = app.source(app.table4_params);
     const ir::Module module = minic::compile(src);
 
     // BLCR-style stream: one full machine image per iteration boundary.
+    // The same instrumented run captures the first and last protected
+    // snapshots for the throughput measurement below.
     std::uint64_t blcr_stream = 0;
+    ckpt::CheckpointImage first_img, last_img;
     {
       vm::RunOptions ropts;
       vm::MclRegion mcl;
@@ -47,6 +116,11 @@ int main() {
       mcl.begin_line = run.region.begin_line;
       mcl.end_line = run.region.end_line;
       ropts.mcl = mcl;
+      ropts.protect = protect;
+      ropts.on_checkpoint = [&](const ckpt::CheckpointImage& img) {
+        if (first_img.empty()) first_img = img;
+        last_img = img;
+      };
       ropts.on_machine_state = [&](const ckpt::MachineState& st) {
         blcr_stream += ckpt::BlcrSim::footprint(st).total();
       };
@@ -59,35 +133,69 @@ int main() {
     full_cfg.tag = app.name + "_bench_full";
     full_cfg.incremental = false;
     full_cfg.async = false;
-    WallTimer full_timer;
     const apps::EngineRunResult full = apps::run_with_engine(module, run.region, protect, full_cfg);
-    const double full_s = full_timer.seconds();
 
-    // Incremental stream: periodic full base + dirty-cell deltas.
-    ckpt::EngineConfig incr_cfg = full_cfg;
-    incr_cfg.tag = app.name + "_bench_incr";
-    incr_cfg.incremental = true;
-    incr_cfg.full_every = 1 << 20;  // one base, then deltas only
-    WallTimer incr_timer;
-    const apps::EngineRunResult incr = apps::run_with_engine(module, run.region, protect, incr_cfg);
-    const double incr_s = incr_timer.seconds();
+    // Incremental stream per codec: periodic full base + dirty-cell deltas.
+    std::vector<IncrResult> incr;
+    for (const auto& [name, chain] : codecs) {
+      incr.push_back(run_incremental(module, run.region, protect,
+                                     app.name + "_bench_incr_" + name, chain));
+    }
+    const IncrResult& incr_raw = incr[0];
+    const IncrResult& incr_xorrle = incr[2];
 
-    if (incr.stats.l1_bytes < blcr_stream) ++incr_beats_blcr;
-    if (incr.stats.l1_bytes < full.stats.l1_bytes) ++incr_beats_full;
-    const double ratio = full.stats.l1_bytes
-                             ? static_cast<double>(incr.stats.l1_bytes) /
-                                   static_cast<double>(full.stats.l1_bytes)
-                             : 0.0;
+    if (incr_raw.l1_bytes < blcr_stream) ++incr_beats_blcr;
+    if (incr_xorrle.delta_bytes < incr_raw.delta_bytes) ++xorrle_beats_raw;
+    const double delta_ratio =
+        incr_raw.delta_bytes ? static_cast<double>(incr_xorrle.delta_bytes) /
+                                   static_cast<double>(incr_raw.delta_bytes)
+                             : 1.0;
     table.add_row({app.name, human_bytes(blcr_stream), human_bytes(full.stats.l1_bytes),
-                   human_bytes(incr.stats.l1_bytes), strf("%.2f", ratio), strf("%.3f", full_s),
-                   strf("%.3f", incr_s)});
+                   human_bytes(incr[0].l1_bytes), human_bytes(incr[1].l1_bytes),
+                   human_bytes(incr[2].l1_bytes), human_bytes(incr[3].l1_bytes),
+                   strf("%.2f", delta_ratio)});
+
+    // Per-codec throughput on the real snapshot bytes (base = first commit).
+    const std::string input = snapshot_blob(last_img);
+    const std::string base = snapshot_blob(first_img);
+    if (!input.empty()) {
+      for (const auto& [name, chain] : codecs) {
+        if (chain.raw()) continue;
+        constexpr int kReps = 8;
+        std::string enc;
+        WallTimer enc_timer;
+        for (int r = 0; r < kReps; ++r) enc = chain.encode(input, base);
+        const double enc_s = enc_timer.seconds() / kReps;
+        std::string dec;
+        WallTimer dec_timer;
+        for (int r = 0; r < kReps; ++r) dec = chain.decode(enc, input.size(), base);
+        const double dec_s = dec_timer.seconds() / kReps;
+        if (dec != input) {
+          std::fprintf(stderr, "bench_engine: %s round-trip FAILED on %s\n", name.c_str(),
+                       app.name.c_str());
+          return 1;
+        }
+        tput.add_row({app.name, name,
+                      strf("%.2fx", static_cast<double>(input.size()) /
+                                        static_cast<double>(enc.empty() ? 1 : enc.size())),
+                      strf("%.0f", mbps(input.size() * kReps, enc_s * kReps)),
+                      strf("%.0f", mbps(input.size() * kReps, dec_s * kReps))});
+      }
+    }
   }
 
   std::printf("%s\n", table.render().c_str());
-  std::printf("Incremental writes fewer bytes than the BLCR-style stream on %d/%zu apps,\n"
-              "and fewer than the critical-only full stream on %d/%zu apps (apps that\n"
-              "rewrite every protected cell each iteration only pay the dirty-run\n"
-              "headers, so the worst case is parity within ~1%%).\n",
-              incr_beats_blcr, apps.size(), incr_beats_full, apps.size());
+  std::printf("Encode/decode throughput per codec chain (input = last protected snapshot,\n"
+              "XOR base = first snapshot of the same run):\n%s\n",
+              tput.render().c_str());
+  std::printf("Incremental (raw) writes fewer bytes than the BLCR-style stream on %d/%zu apps;\n"
+              "the XOR+RLE chain shrinks the L1 delta stream vs raw cells on %d/%zu apps.\n",
+              incr_beats_blcr, suite.size(), xorrle_beats_raw, suite.size());
+
+  const int needed = smoke ? 3 : 10;
+  if (xorrle_beats_raw < needed) {
+    std::printf("FAIL: expected the XOR+RLE chain to beat raw on >= %d apps\n", needed);
+    return 1;
+  }
   return incr_beats_blcr >= 3 ? 0 : 1;
 }

@@ -85,6 +85,9 @@ void ProtectSink::consume(const Report& report, const SessionContext& ctx) {
   std::string text = strf("// CheckpointEngine registration for %s (function %s, lines %d..%d)\n",
                           ctx.source_name.c_str(), ctx.region.function.c_str(),
                           ctx.region.begin_line, ctx.region.end_line);
+  if (!codec_spec_.empty()) {
+    text += strf("cfg.set_codecs(ac::ckpt::CodecChain::parse(\"%s\"));\n", codec_spec_.c_str());
+  }
   for (const auto& cv : report.critical()) {
     const auto it = allocas.find(cv.name);
     const std::uint64_t addr = it != allocas.end() ? it->second.first : 0;

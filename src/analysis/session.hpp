@@ -129,9 +129,18 @@ class ProtectSink final : public ReportSink {
   explicit ProtectSink(std::string* capture) : capture_(capture) {}
   void consume(const Report& report, const SessionContext& ctx) override;
 
+  /// When set (a ckpt::CodecChain spec, e.g. "xor+rle+lz"), the emitted
+  /// snippet also configures the engine's payload codecs. Validate the spec
+  /// with CodecChain::parse before handing it over — the sink emits verbatim.
+  ProtectSink& codec_spec(std::string spec) {
+    codec_spec_ = std::move(spec);
+    return *this;
+  }
+
  private:
   std::FILE* out_ = nullptr;
   std::string* capture_ = nullptr;
+  std::string codec_spec_;
 };
 
 /// Registers the report's critical set directly with a CheckpointEngine

@@ -31,6 +31,8 @@ int usage() {
                "  --full-only          disable incremental deltas (every commit full)\n"
                "  --full-every N       full base image every N commits (default 8)\n"
                "  --sync               synchronous writeback (default: async)\n"
+               "  --ckpt-codec SPEC    payload codec chain: raw | rle | lz | xor+rle | chain\n"
+               "                       (= xor+rle+lz); per level: l1=rle,l3=chain\n"
                "  --policy P           fixed:N | young:MTBF_S | daly:MTBF_S (default fixed:1)\n"
                "  --interval N         legacy path: checkpoint every N iterations\n"
                "apps: all");
@@ -53,6 +55,32 @@ std::shared_ptr<ac::ckpt::IntervalPolicy> parse_policy(const std::string& spec) 
                               : ac::ckpt::YoungDalyPolicy::Order::Daly);
   }
   throw ac::Error("unknown policy spec: " + spec + " (want fixed:N, young:M or daly:M)");
+}
+
+/// "rle" applies one chain to every level; "l1=rle,l3=xor+rle+lz" sets levels
+/// individually (unnamed items apply to all levels, later items win). Empty
+/// items (stray commas) are dropped rather than resetting anything to raw.
+void parse_codec_spec(ac::ckpt::EngineConfig& cfg, const std::string& spec) {
+  const auto items = ac::split(spec, ',');
+  if (items.empty()) throw ac::Error("empty --ckpt-codec spec");
+  for (const std::string& item : items) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      cfg.set_codecs(ac::ckpt::CodecChain::parse(item));
+      continue;
+    }
+    const std::string level = item.substr(0, eq);
+    const ac::ckpt::CodecChain chain = ac::ckpt::CodecChain::parse(item.substr(eq + 1));
+    if (level == "l1") {
+      cfg.l1_codec = chain;
+    } else if (level == "l2") {
+      cfg.l2_codec = chain;
+    } else if (level == "l3") {
+      cfg.l3_codec = chain;
+    } else {
+      throw ac::Error("unknown codec level '" + level + "' (want l1, l2 or l3)");
+    }
+  }
 }
 
 }  // namespace
@@ -94,6 +122,13 @@ int main(int argc, char** argv) {
       cfg.full_every = std::atoi(next());
     } else if (arg == "--sync") {
       cfg.async = false;
+    } else if (arg == "--ckpt-codec") {
+      try {
+        parse_codec_spec(cfg, next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "harness: %s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--policy") {
       try {
         cfg.policy = parse_policy(next());
@@ -132,7 +167,8 @@ int main(int argc, char** argv) {
               use_engine ? "CheckpointEngine" : "legacy FtiLite", fail_at);
   ac::TextTable table(use_engine
                           ? std::vector<std::string>{"App", "#Crit", "Ckpts (full+delta)",
-                                                     "Bytes", "vs full", "Recovered@", "Restart"}
+                                                     "Bytes", "vs full", "Codec", "Enc ratio",
+                                                     "Recovered@", "Restart"}
                           : std::vector<std::string>{"App", "#Crit", "Ckpts", "Recovered@",
                                                      "Restart"});
 
@@ -151,11 +187,17 @@ int main(int argc, char** argv) {
                                  ? static_cast<double>(v.stats.full_equiv_bytes) /
                                        static_cast<double>(v.stats.l1_bytes)
                                  : 0.0;
+        const double enc_ratio =
+            v.stats.payload_encoded_bytes
+                ? static_cast<double>(v.stats.payload_raw_bytes) /
+                      static_cast<double>(v.stats.payload_encoded_bytes)
+                : 1.0;
         table.add_row({app.name, ac::strf("%zu", protect.size()),
                        ac::strf("%lld (%lld+%lld)", static_cast<long long>(v.stats.checkpoints),
                                 static_cast<long long>(v.stats.full_checkpoints),
                                 static_cast<long long>(v.stats.delta_checkpoints)),
                        ac::human_bytes(v.stats.l1_bytes), ac::strf("%.1fx smaller", ratio),
+                       app_cfg.l1_codec.str(), ac::strf("%.2fx", enc_ratio),
                        ac::strf("%lld", static_cast<long long>(v.recovered_iteration)),
                        v.restart_matches ? "MATCH" : "DIVERGED"});
       } else {

@@ -21,6 +21,9 @@
 //   * asynchronous writeback — capture happens on the VM thread into an
 //     in-memory record, persistence on a background writer thread with a
 //     double-buffered queue (the VM only stalls when both slots are full);
+//   * pluggable payload codecs (codec.hpp) — each storage level encodes its
+//     records through its own codec chain (XOR-vs-base, RLE, LZ, stacked),
+//     with the stage ids in the record header so every store self-describes;
 //   * policy-driven cadence — a ckpt::IntervalPolicy (fixed or Young/Daly)
 //     decides at each iteration boundary whether to commit.
 #pragma once
@@ -34,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "ckpt/codec.hpp"
 #include "ckpt/image.hpp"
 #include "ckpt/policy.hpp"
 #include "support/timer.hpp"
@@ -74,9 +78,21 @@ struct DeltaPatch {
   std::uint64_t cell_count() const;
 };
 
+/// Payload accounting for one serialized record: cell bytes before and after
+/// the codec chain (the compression-ratio figure bench_engine reports).
+struct EncodedSizes {
+  std::uint64_t raw = 0;
+  std::uint64_t encoded = 0;
+};
+
 /// One durable engine record: a full base image (seq 0 of a chain identified
 /// by base_id) or an incremental delta (seq 1..). Serialized with magic +
 /// CRC32 like CheckpointImage; deltas additionally carry per-cell indices.
+///
+/// Since format version 2 the header carries the codec-chain stage ids the
+/// payload was encoded with, so every record is self-describing: mixed-codec
+/// stores (per-level codecs, or checkpoints from differently-configured
+/// runs) and pre-codec version-1 checkpoints all still restore.
 struct EngineRecord {
   enum class Kind : std::uint8_t { Full = 0, Delta = 1 };
 
@@ -86,9 +102,25 @@ struct EngineRecord {
   std::int64_t iteration = -1;
   CheckpointImage full;  // Kind::Full
   DeltaPatch delta;      // Kind::Delta
+  /// The chain this record was decoded with (from_bytes) — diagnostic only;
+  /// to_bytes() takes the chain to encode with as a parameter.
+  CodecChain codec;
+  /// Capture-time snapshot of the full image this delta XORs against. Set by
+  /// the engine so the background writer can encode without racing the next
+  /// capture; never serialized.
+  std::shared_ptr<const CheckpointImage> xor_base;
 
-  std::string to_bytes() const;
-  static EngineRecord from_bytes(const std::string& data);
+  /// Serialize with `chain`; `base` supplies the XOR reference cells for
+  /// delta payloads (ignored by raw/RLE/LZ-only chains and full records).
+  std::string to_bytes(const CodecChain& chain, const CheckpointImage* base,
+                       EncodedSizes* sizes = nullptr) const;
+  std::string to_bytes() const { return to_bytes(CodecChain{}, nullptr); }
+
+  /// Parse + verify. `base` is required to decode a delta whose chain starts
+  /// with XOR (recovery loads the chain's base record first and passes its
+  /// pristine image); all other payloads decode without it.
+  static EngineRecord from_bytes(const std::string& data,
+                                 const CheckpointImage* base = nullptr);
 };
 
 /// FTI-style reliability level of the engine's storage stack; each level
@@ -109,6 +141,21 @@ struct EngineConfig {
   /// Persist on a background writer thread (double-buffered); false = inline.
   bool async = true;
 
+  /// Per-level payload codecs (codec.hpp). Defaults are raw; typical tuning
+  /// keeps L1 raw or RLE for commit speed and gives the L3 packed archive
+  /// the full XOR+RLE+LZ chain. Records are self-describing, so levels can
+  /// disagree freely.
+  CodecChain l1_codec;
+  CodecChain l2_codec;
+  CodecChain l3_codec;
+
+  /// Convenience: the codec for one storage level.
+  const CodecChain& codec(EngineLevel lv) const {
+    return lv == EngineLevel::L1 ? l1_codec : lv == EngineLevel::L2 ? l2_codec : l3_codec;
+  }
+  /// Convenience: use `chain` at every level.
+  void set_codecs(const CodecChain& chain) { l1_codec = l2_codec = l3_codec = chain; }
+
   /// Checkpoint cadence; defaults to FixedIntervalPolicy(1).
   std::shared_ptr<IntervalPolicy> policy;
 };
@@ -119,9 +166,12 @@ struct EngineStats {
   std::int64_t delta_checkpoints = 0;
   std::uint64_t cells_captured = 0;    // cells across all records
   std::uint64_t l1_bytes = 0;          // serialized bytes written per level
+  std::uint64_t l1_delta_bytes = 0;    // the delta-record share of l1_bytes
   std::uint64_t l2_bytes = 0;
   std::uint64_t l3_bytes = 0;
   std::uint64_t full_equiv_bytes = 0;  // bytes if every commit had been full
+  std::uint64_t payload_raw_bytes = 0;      // L1 cell payload before the codec chain
+  std::uint64_t payload_encoded_bytes = 0;  // L1 cell payload after the codec chain
   std::int64_t async_stalls = 0;       // VM blocked on a full writeback queue
   std::int64_t last_persisted_iteration = -1;
 
@@ -161,8 +211,11 @@ class CheckpointEngine {
   // --- restart ------------------------------------------------------------
   bool has_checkpoint() const;
   /// Reassemble the latest recoverable state (base + valid delta chain),
-  /// falling back L1 -> L2 per file and to the L3 archive when the files are
-  /// gone. Returns a plain CheckpointImage for vm::RunOptions::restore.
+  /// falling back level by level: each file is read L1-first with the L2
+  /// partner replica as the per-file fallback, and at L3 the packed archive
+  /// is also scanned — whichever source yields the later iteration wins, so
+  /// a delta corrupted in both directories costs nothing the archive still
+  /// holds. Returns a plain CheckpointImage for vm::RunOptions::restore.
   CheckpointImage recover() const;
 
   /// Remove every engine file for this tag (fresh experiment).
@@ -183,6 +236,8 @@ class CheckpointEngine {
   std::int64_t last_commit_iter_ = 0;
   std::uint64_t delta_epoch_ = 0;  // cells stamped >= this are dirty
   int commits_since_full_ = 0;
+  /// Pristine copy of the last full image — the XOR reference for deltas.
+  std::shared_ptr<const CheckpointImage> base_image_;
   WallTimer iter_timer_;
   bool iter_timer_live_ = false;
 
@@ -209,9 +264,15 @@ class CheckpointEngine {
   void drain() const;
   void check_writer_error() const;
 
-  EngineRecord load_record(const std::string& local, const std::string& partner) const;
+  EngineRecord load_record(const std::string& local, const std::string& partner,
+                           const CheckpointImage* base) const;
   CheckpointImage recover_from_files() const;
   CheckpointImage recover_from_pack() const;
+  /// Header-only scan of the packed archive: the iteration a full decode
+  /// would recover (-1 when nothing is recoverable). Lets recover() skip
+  /// decoding the whole archive history when the file chain already reaches
+  /// at least as far.
+  std::int64_t pack_best_iteration() const;
 };
 
 /// Apply a delta patch to a base image in place; throws CheckpointError on a

@@ -139,6 +139,9 @@ CheckpointImage CheckpointImage::from_bytes(const std::string& data, const std::
     }
     img.vars_.push_back(std::move(snap));
   }
+  // The CRC already vouches for the bytes, but a codec-decoded blob of the
+  // wrong length must not pass silently with trailing garbage.
+  if (cur.pos() != body.size()) throw CheckpointError("trailing bytes in checkpoint" + where);
   return img;
 }
 

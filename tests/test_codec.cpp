@@ -1,0 +1,229 @@
+// Checkpoint codec layer: round-trip property tests for every codec and
+// chain over random / all-zero / all-distinct / empty / single-cell /
+// adversarial incompressible cell buffers, decode-side rejection of
+// truncated payloads and bad codec ids (CheckpointError, never UB), and the
+// compression behavior each codec exists for (zero-run RLE, XOR-vs-base
+// zeroing, LZ pattern matching).
+#include <gtest/gtest.h>
+
+#include "ckpt/codec.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace ac::ckpt {
+namespace {
+
+std::vector<Cell> random_cells(std::size_t n, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<Cell> cells(n);
+  for (auto& c : cells) {
+    c.payload = rng.next();
+    c.kind = static_cast<std::uint8_t>(rng.below(4));
+  }
+  return cells;
+}
+
+std::vector<Cell> zero_cells(std::size_t n) { return std::vector<Cell>(n); }
+
+std::vector<Cell> distinct_cells(std::size_t n) {
+  std::vector<Cell> cells(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cells[i].payload = i * 0x9E3779B97F4A7C15ull + 1;
+    cells[i].kind = static_cast<std::uint8_t>(i % 5);
+  }
+  return cells;
+}
+
+/// High-entropy bytes in every plane — the adversarial case no codec can
+/// shrink; round-trip and bounded expansion are what matter.
+std::vector<Cell> incompressible_cells(std::size_t n) { return random_cells(n, 0xBADC0DE); }
+
+// "rle+rle" is deliberately redundant: stacked stages each add worst-case
+// literal-framing overhead, and the chain decode's allocation guard must
+// compound its headroom per stage rather than reject what encode produced.
+const std::vector<std::string> kChainSpecs = {"raw",     "xor",    "rle",        "lz",
+                                              "xor+rle", "rle+lz", "xor+rle+lz", "rle+rle"};
+
+struct NamedBuffer {
+  const char* name;
+  std::vector<Cell> cells;
+};
+
+std::vector<NamedBuffer> buffer_families() {
+  return {
+      {"empty", {}},
+      {"single", {Cell{0x0123456789ABCDEFull, 3}}},
+      {"all_zero", zero_cells(1000)},
+      {"all_distinct", distinct_cells(777)},
+      {"random", random_cells(500, 42)},
+      {"incompressible", incompressible_cells(2048)},
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Cell-span shuffle serialization
+// ---------------------------------------------------------------------------
+
+TEST(CodecCells, ShuffleRoundTrip) {
+  for (const auto& buf : buffer_families()) {
+    const std::string bytes = cells_to_bytes(buf.cells.data(), buf.cells.size());
+    EXPECT_EQ(bytes.size(), buf.cells.size() * 9) << buf.name;
+    EXPECT_EQ(cells_from_bytes(bytes), buf.cells) << buf.name;
+  }
+}
+
+TEST(CodecCells, RejectsMisalignedStream) {
+  EXPECT_THROW(cells_from_bytes(std::string(10, 'x')), CheckpointError);
+  EXPECT_THROW(cells_from_bytes(std::string(8, 'x')), CheckpointError);
+  EXPECT_TRUE(cells_from_bytes("").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property: every chain x every buffer family x base variants
+// ---------------------------------------------------------------------------
+
+TEST(CodecRoundTrip, EveryChainEveryBufferEveryBase) {
+  for (const auto& spec : kChainSpecs) {
+    const CodecChain chain = CodecChain::parse(spec);
+    for (const auto& buf : buffer_families()) {
+      const std::size_t n = buf.cells.size();
+      // Base variants: none, identical, drifted, shorter than the span.
+      const std::vector<Cell> same = buf.cells;
+      std::vector<Cell> drift = buf.cells;
+      for (std::size_t i = 0; i < drift.size(); i += 3) drift[i].payload += 1;
+      const std::vector<Cell> shorter(buf.cells.begin(),
+                                      buf.cells.begin() + static_cast<std::ptrdiff_t>(n / 2));
+      const std::vector<std::pair<const char*, const std::vector<Cell>*>> bases = {
+          {"no_base", nullptr}, {"same", &same}, {"drift", &drift}, {"short", &shorter}};
+      for (const auto& [bname, base] : bases) {
+        const Cell* bdata = base ? base->data() : nullptr;
+        const std::size_t bn = base ? base->size() : 0;
+        const std::string enc = encode_cells(chain, buf.cells.data(), n, bdata, bn);
+        const std::vector<Cell> back = decode_cells(chain, enc, n, bdata, bn);
+        EXPECT_EQ(back, buf.cells) << spec << " / " << buf.name << " / " << bname;
+      }
+    }
+  }
+}
+
+TEST(CodecRoundTrip, IncompressibleExpansionIsBounded) {
+  // PackBits-style literal framing costs at most 1 byte per 128 (plus LZ's
+  // identical bound); high-entropy input must not blow up.
+  const auto cells = incompressible_cells(4096);
+  const std::string raw = cells_to_bytes(cells.data(), cells.size());
+  for (const auto& spec : kChainSpecs) {
+    const CodecChain chain = CodecChain::parse(spec);
+    const std::string enc = chain.encode(raw, {});
+    EXPECT_LE(enc.size(), raw.size() + raw.size() / 32 + 64) << spec;
+    EXPECT_EQ(chain.decode(enc, raw.size(), {}), raw) << spec;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decode-side rejection: truncation, bad ids, wrong sizes
+// ---------------------------------------------------------------------------
+
+TEST(CodecReject, TruncatedPayloadsThrow) {
+  // Every proper prefix of a valid payload decodes to fewer bytes than the
+  // declared cell count (or trips a token bounds check) — either way the
+  // decode must throw CheckpointError, never read out of bounds.
+  const auto cells = random_cells(256, 7);
+  for (const auto& spec : kChainSpecs) {
+    const CodecChain chain = CodecChain::parse(spec);
+    const std::string enc = encode_cells(chain, cells.data(), cells.size(), nullptr, 0);
+    ASSERT_FALSE(enc.empty());
+    for (const std::size_t cut : {std::size_t{0}, std::size_t{1}, enc.size() / 2, enc.size() - 1}) {
+      EXPECT_THROW(decode_cells(chain, enc.substr(0, cut), cells.size(), nullptr, 0),
+                   CheckpointError)
+          << spec << " cut=" << cut;
+    }
+  }
+}
+
+TEST(CodecReject, RleTruncatedTokens) {
+  const Codec& rle = codec_for(CodecId::Rle);
+  // Literal control byte promising 4 bytes, only 2 present.
+  EXPECT_THROW(rle.decode(std::string("\x03\x61\x62", 3), 1024, {}), CheckpointError);
+  // Repeat control byte with no value byte.
+  EXPECT_THROW(rle.decode(std::string("\x85", 1), 1024, {}), CheckpointError);
+  // Output cap enforced.
+  EXPECT_THROW(rle.decode(std::string("\xFF\x00", 2), 8, {}), CheckpointError);
+}
+
+TEST(CodecReject, LzMalformedTokens) {
+  const Codec& lz = codec_for(CodecId::Lz);
+  // Match token referencing data before the start of the output.
+  EXPECT_THROW(lz.decode(std::string("\x80\x05\x00", 3), 1024, {}), CheckpointError);
+  // Truncated match token (control byte only).
+  EXPECT_THROW(lz.decode(std::string("\x01\x61\x62\x80", 4), 1024, {}), CheckpointError);
+  // Zero distance is never valid.
+  EXPECT_THROW(lz.decode(std::string("\x01\x61\x62\x80\x00\x00", 6), 1024, {}), CheckpointError);
+}
+
+TEST(CodecReject, BadCodecIdsThrow) {
+  const std::uint8_t bad[] = {0, 2, 9};
+  EXPECT_THROW(CodecChain::from_ids(bad, 3), CheckpointError);
+  EXPECT_THROW(CodecChain::parse("zstd"), CheckpointError);
+  EXPECT_THROW(CodecChain::parse("xor+bogus"), CheckpointError);
+  EXPECT_THROW(codec_for(static_cast<CodecId>(200)), CheckpointError);
+}
+
+TEST(CodecReject, DecodedSizeMismatchThrows) {
+  const auto cells = random_cells(64, 11);
+  const CodecChain chain = CodecChain::parse("rle");
+  const std::string enc = encode_cells(chain, cells.data(), cells.size(), nullptr, 0);
+  // Declaring a different cell count than was encoded must be caught.
+  EXPECT_THROW(decode_cells(chain, enc, cells.size() - 1, nullptr, 0), CheckpointError);
+  EXPECT_THROW(decode_cells(chain, enc, cells.size() + 1, nullptr, 0), CheckpointError);
+}
+
+// ---------------------------------------------------------------------------
+// The compression each codec exists for
+// ---------------------------------------------------------------------------
+
+TEST(CodecBehavior, RleCrushesZeroRuns) {
+  const auto cells = zero_cells(1000);  // 9000 raw bytes, one giant zero run
+  const CodecChain rle = CodecChain::parse("rle");
+  const std::string enc = encode_cells(rle, cells.data(), cells.size(), nullptr, 0);
+  EXPECT_LT(enc.size(), 160u);  // ~2 bytes per 130-byte run
+}
+
+TEST(CodecBehavior, XorAgainstIdenticalBaseYieldsZeros) {
+  const auto cells = random_cells(300, 99);
+  const CodecChain x = CodecChain::parse("xor");
+  const std::string enc = encode_cells(x, cells.data(), cells.size(), cells.data(), cells.size());
+  for (const char b : enc) EXPECT_EQ(b, 0);
+  // ... which the chained RLE then collapses.
+  const CodecChain xr = CodecChain::parse("xor+rle");
+  const std::string enc2 =
+      encode_cells(xr, cells.data(), cells.size(), cells.data(), cells.size());
+  EXPECT_LT(enc2.size(), 64u);
+}
+
+TEST(CodecBehavior, LzFindsRepeatedPatterns) {
+  // A 64-cell pattern tiled 32 times: RLE sees no byte runs, LZ sees it all.
+  const auto pattern = random_cells(64, 5);
+  std::vector<Cell> tiled;
+  for (int i = 0; i < 32; ++i) tiled.insert(tiled.end(), pattern.begin(), pattern.end());
+  const std::string raw = cells_to_bytes(tiled.data(), tiled.size());
+  const CodecChain lz = CodecChain::parse("lz");
+  const std::string enc = lz.encode(raw, {});
+  EXPECT_LT(enc.size(), raw.size() / 8);
+  EXPECT_EQ(lz.decode(enc, raw.size(), {}), raw);
+}
+
+TEST(CodecChainApi, SpecParseAndStr) {
+  EXPECT_TRUE(CodecChain::parse("raw").raw());
+  EXPECT_TRUE(CodecChain::parse("").raw());
+  EXPECT_EQ(CodecChain::parse("raw").str(), "raw");
+  EXPECT_EQ(CodecChain::parse("chain").str(), "xor+rle+lz");
+  EXPECT_EQ(CodecChain::parse("xor+rle+lz"), CodecChain::parse("chain"));
+  EXPECT_EQ(CodecChain::parse("rle").str(), "rle");
+  EXPECT_NE(CodecChain::parse("rle"), CodecChain::parse("lz"));
+  // from_ids round-trips through the serialized stage bytes.
+  const std::uint8_t ids[] = {1, 2, 3};
+  EXPECT_EQ(CodecChain::from_ids(ids, 3), CodecChain::parse("chain"));
+}
+
+}  // namespace
+}  // namespace ac::ckpt

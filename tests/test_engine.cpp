@@ -1,16 +1,25 @@
-// CheckpointEngine: interval policies, record serialization, report-driven
-// registration, arena dirty-cell tracking, and full C/R round-trips through
-// the incremental / multi-level / async paths — including storage
-// degradation (corrupt local -> partner replica -> packed archive).
+// CheckpointEngine: interval policies, record serialization (codec-encoded
+// v2 + raw-cell v1 backward compatibility), report-driven registration,
+// arena dirty-cell tracking, and full C/R round-trips through the
+// incremental / multi-level / async paths — including storage degradation
+// (corrupt local -> partner replica -> packed archive) and the
+// fault-injection recovery matrix: all 14 apps x {L1,L2,L3} x {raw, chain}
+// codecs, killed at a randomized iteration and restarted bit-identically.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 
 #include "apps/harness.hpp"
+#include "ckpt/codec.hpp"
 #include "ckpt/engine.hpp"
 #include "ckpt/policy.hpp"
+#include "support/crc32.hpp"
 #include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
 #include "vm/memory.hpp"
 
 #include "helpers.hpp"
@@ -117,6 +126,85 @@ TEST(EngineRecord, DetectsCorruptionAndTruncation) {
   EXPECT_THROW(ckpt::EngineRecord::from_bytes(corrupt), CheckpointError);
   EXPECT_THROW(ckpt::EngineRecord::from_bytes(bytes.substr(0, bytes.size() / 2)),
                CheckpointError);
+}
+
+TEST(EngineRecord, CodecChainRoundTrip) {
+  const ckpt::CodecChain chain = ckpt::CodecChain::parse("xor+rle+lz");
+
+  const ckpt::EngineRecord full = sample_full();
+  const ckpt::EngineRecord full_back =
+      ckpt::EngineRecord::from_bytes(full.to_bytes(chain, nullptr));
+  EXPECT_EQ(full_back.full, full.full);
+  EXPECT_EQ(full_back.codec, chain);
+
+  // Delta payloads XOR against the base image's cells; the same base must be
+  // supplied on decode, and decoding without it is an error, not garbage.
+  const ckpt::EngineRecord delta = sample_delta();
+  const std::string bytes = delta.to_bytes(chain, &full.full);
+  const ckpt::EngineRecord back = ckpt::EngineRecord::from_bytes(bytes, &full.full);
+  ASSERT_EQ(back.delta.vars.size(), 1u);
+  EXPECT_EQ(back.delta.vars[0].runs[0].cells, delta.delta.vars[0].runs[0].cells);
+  EXPECT_THROW(ckpt::EngineRecord::from_bytes(bytes), CheckpointError);
+}
+
+TEST(EngineRecord, RejectsBadCodecIdInHeader) {
+  // Patch the first codec stage id to garbage and re-seal the CRC: the codec
+  // validation itself must reject it (the CRC is fine).
+  std::string bytes = sample_delta().to_bytes(ckpt::CodecChain::parse("rle"), nullptr);
+  const std::size_t nstages_off = 4 + 4 + 1 + 8 + 8 + 8;  // magic+ver+kind+base_id+seq+iter
+  ASSERT_EQ(static_cast<unsigned char>(bytes[nstages_off]), 1u);
+  bytes[nstages_off + 1] = 0x7F;  // stage id
+  const std::uint32_t crc = crc32(bytes.data() + 4, bytes.size() - 8);
+  std::memcpy(bytes.data() + bytes.size() - 4, &crc, 4);
+  try {
+    ckpt::EngineRecord::from_bytes(bytes);
+    FAIL() << "bad codec id accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("codec id"), std::string::npos);
+  }
+}
+
+TEST(EngineRecord, ReadsPreCodecVersion1Records) {
+  // Hand-rolled version-1 bytes (raw cells inline, no codec header) — the
+  // format every pre-codec checkpoint on disk uses; they must still restore.
+  const auto put_u32 = [](std::string& out, std::uint32_t v) {
+    out.append(reinterpret_cast<const char*>(&v), 4);
+  };
+  const auto put_u64 = [](std::string& out, std::uint64_t v) {
+    out.append(reinterpret_cast<const char*>(&v), 8);
+  };
+  std::string body;
+  put_u32(body, 1);              // version 1
+  body.push_back(1);             // kind = Delta
+  put_u64(body, 3);              // base_id
+  put_u64(body, 2);              // seq
+  put_u64(body, 9);              // iteration
+  put_u32(body, 1);              // nvars
+  put_u32(body, 1);              // name len
+  body += "x";
+  put_u32(body, 1);              // nruns
+  put_u32(body, 1);              // run index
+  put_u64(body, 2);              // ncells
+  put_u64(body, 99);             // cell 0 payload
+  body.push_back(0);             //        kind
+  put_u64(body, 100);            // cell 1 payload
+  body.push_back(0);             //        kind
+  std::string bytes = "ACEG";
+  bytes += body;
+  const std::uint32_t crc = crc32(body.data(), body.size());
+  bytes.append(reinterpret_cast<const char*>(&crc), 4);
+
+  const ckpt::EngineRecord rec = ckpt::EngineRecord::from_bytes(bytes);
+  EXPECT_EQ(rec.kind, ckpt::EngineRecord::Kind::Delta);
+  EXPECT_EQ(rec.base_id, 3u);
+  EXPECT_EQ(rec.seq, 2u);
+  EXPECT_EQ(rec.iteration, 9);
+  ASSERT_EQ(rec.delta.vars.size(), 1u);
+  EXPECT_EQ(rec.delta.vars[0].name, "x");
+  ASSERT_EQ(rec.delta.vars[0].runs.size(), 1u);
+  EXPECT_EQ(rec.delta.vars[0].runs[0].index, 1u);
+  const std::vector<ckpt::Cell> expect = {{99, 0}, {100, 0}};
+  EXPECT_EQ(rec.delta.vars[0].runs[0].cells, expect);
 }
 
 TEST(EngineRecord, ApplyDeltaPatchesBase) {
@@ -372,6 +460,133 @@ TEST(EngineLevels, L3ArchiveIsTheLastResort) {
   ropts.restore = &img;
   EXPECT_EQ(vm::run_module(run.module, ropts).output, reference);
 }
+
+// A delta corrupted only locally must be healed by the partner replica (same
+// recovered iteration as the pristine chain); corrupted in *both*
+// directories, the L3 archive must supply the full chain instead of the
+// files path silently rolling back to the pre-corruption prefix.
+class EngineFallback : public testing::Test {
+ protected:
+  void run_failing(const apps::AnalysisRun& run, const ckpt::EngineConfig& cfg, int fail_at) {
+    ckpt::CheckpointEngine engine(cfg);
+    engine.reset();
+    engine.register_report(run.report);
+    vm::RunOptions ropts;
+    ropts.mcl = {run.region.function, run.region.begin_line, run.region.end_line};
+    ropts.engine = &engine;
+    ropts.fail_at_iteration = fail_at;
+    ASSERT_TRUE(vm::run_module(run.module, ropts).failed);
+    engine.flush();
+  }
+};
+
+TEST_F(EngineFallback, CorruptL1DeltaFallsBackToPartnerReplica) {
+  const App& app = find_app("MG");
+  const apps::AnalysisRun run = analyze_app(app);
+  ckpt::EngineConfig cfg = engine_cfg("eng_fb_l2");
+  cfg.partner_dir = partner_dir();
+  cfg.level = ckpt::EngineLevel::L3;
+  cfg.async = false;
+  cfg.full_every = 1 << 20;
+  cfg.set_codecs(ckpt::CodecChain::parse("xor+rle"));
+  run_failing(run, cfg, /*fail_at=*/6);
+
+  // Commits: base@1, deltas 1..4 (@2..@5). Flip one byte inside L1 delta 2.
+  corrupt_file(cfg.dir + "/" + cfg.tag + ".delta.2.eng");
+
+  ckpt::CheckpointEngine restart(cfg);
+  const ckpt::CheckpointImage img = restart.recover();
+  // The partner copy of delta 2 keeps the chain whole to iteration 5.
+  EXPECT_EQ(img.iteration(), 5);
+
+  vm::RunOptions ref;
+  const std::string reference = vm::run_module(run.module, ref).output;
+  vm::RunOptions ropts;
+  ropts.mcl = {run.region.function, run.region.begin_line, run.region.end_line};
+  ropts.restore = &img;
+  EXPECT_EQ(vm::run_module(run.module, ropts).output, reference);
+}
+
+TEST_F(EngineFallback, DeltaCorruptInBothDirsFallsBackToArchive) {
+  const App& app = find_app("MG");
+  const apps::AnalysisRun run = analyze_app(app);
+  ckpt::EngineConfig cfg = engine_cfg("eng_fb_l3");
+  cfg.partner_dir = partner_dir();
+  cfg.level = ckpt::EngineLevel::L3;
+  cfg.async = false;
+  cfg.full_every = 1 << 20;
+  run_failing(run, cfg, /*fail_at=*/6);
+
+  // Both copies of delta 2 are bad: the file-based chain now ends at
+  // iteration 2, but the packed archive still holds every record — recovery
+  // must take the deeper source, exactly as engine.hpp documents.
+  corrupt_file(cfg.dir + "/" + cfg.tag + ".delta.2.eng");
+  corrupt_file(cfg.partner_dir + "/" + cfg.tag + ".delta.2.eng");
+
+  ckpt::CheckpointEngine restart(cfg);
+  const ckpt::CheckpointImage img = restart.recover();
+  EXPECT_EQ(img.iteration(), 5);
+
+  vm::RunOptions ref;
+  const std::string reference = vm::run_module(run.module, ref).output;
+  vm::RunOptions ropts;
+  ropts.mcl = {run.region.function, run.region.begin_line, run.region.end_line};
+  ropts.restore = &img;
+  EXPECT_EQ(vm::run_module(run.module, ropts).output, reference);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection recovery matrix: 14 apps x {L1,L2,L3} x {raw, chain}
+// ---------------------------------------------------------------------------
+
+class EngineMatrix : public testing::TestWithParam<std::string> {};
+
+TEST_P(EngineMatrix, RandomizedKillRestartsBitIdentical) {
+  const App& app = find_app(GetParam());
+  const apps::AnalysisRun run = analyze_app(app);
+  const auto protect = run.report.critical_names();
+
+  // Deterministic per-app randomization of the kill point (every app's main
+  // loop spans at least 4 iterations at unit-test scale, so headers evaluate
+  // through iteration 5).
+  std::uint64_t seed = 0xC0DEC;
+  for (const char c : app.name) seed = seed * 131 + static_cast<std::uint64_t>(c);
+  SplitMix64 rng(seed);
+
+  int combo = 0;
+  for (const ckpt::EngineLevel level :
+       {ckpt::EngineLevel::L1, ckpt::EngineLevel::L2, ckpt::EngineLevel::L3}) {
+    for (const std::string codec : {"raw", "chain"}) {
+      const int fail_at = static_cast<int>(3 + rng.below(3));  // in [3, 5]
+      ckpt::EngineConfig cfg = engine_cfg(ac::strf("eng_matrix_%s_%d", app.name.c_str(), combo));
+      cfg.level = level;
+      if (level >= ckpt::EngineLevel::L2) cfg.partner_dir = partner_dir();
+      cfg.full_every = 2;  // force delta records into every combo
+      cfg.set_codecs(ckpt::CodecChain::parse(codec));
+      const auto v = apps::validate_cr_engine(run.module, run.region, protect, fail_at, cfg);
+      EXPECT_TRUE(v.restart_matches)
+          << app.name << " level=" << static_cast<int>(level) << " codec=" << codec
+          << " fail_at=" << fail_at;
+      // The full chain must be recoverable: the engine committed every
+      // completed iteration before the kill.
+      EXPECT_EQ(v.recovered_iteration, fail_at - 1)
+          << app.name << " level=" << static_cast<int>(level) << " codec=" << codec;
+      ++combo;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All14, EngineMatrix,
+    testing::Values("Himeno", "HPCCG", "CG", "MG", "FT", "SP", "EP", "IS", "BT", "LU", "CoMD",
+                    "miniAMR", "AMG", "HACC"),
+    [](const testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
 
 TEST(EngineLevels, TornDeltaChainRollsBackToLastGoodPrefix) {
   const App& app = find_app("SP");

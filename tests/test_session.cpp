@@ -118,6 +118,96 @@ TEST(SessionParallel, ClassifyShardedDirectApi) {
   EXPECT_EQ(serial.all_mli, sharded.all_mli);
 }
 
+TEST(SessionParallel, ThreadsExceedingVariableCountClampAndMatch) {
+  // fig4 has 5 MLI variables; 64 (and an absurd 100000) worker requests must
+  // clamp to the variable count and still produce bit-identical verdicts —
+  // never 100000 threads, never an empty-shard crash.
+  auto run = test::run_pipeline(test::fig4_source());
+  const ClassifyResult serial = classify(run.report.dep, run.report.pre);
+  for (const int threads : {64, 257, 100000}) {
+    const ClassifyResult sharded = classify_sharded(run.report.dep, run.report.pre, threads);
+    EXPECT_EQ(serial.critical, sharded.critical) << threads;
+    EXPECT_EQ(serial.all_mli, sharded.all_mli) << threads;
+  }
+}
+
+TEST(SessionParallel, ZeroVariableTraceClassifiesEmpty) {
+  // Degenerate inputs: no events, no MLI variables. Both paths must agree on
+  // the empty verdict instead of dividing by a zero shard count.
+  const DepResult dep;
+  const PreprocessResult pre;
+  const ClassifyResult serial = classify(dep, pre);
+  const ClassifyResult sharded = classify_sharded(dep, pre, 8);
+  EXPECT_TRUE(serial.critical.empty());
+  EXPECT_TRUE(serial.all_mli.empty());
+  EXPECT_EQ(serial.critical, sharded.critical);
+  EXPECT_EQ(serial.all_mli, sharded.all_mli);
+
+  // Source-level version: a computation loop that touches only its induction
+  // variable and a loop-invariant scalar read.
+  const std::string src = R"(
+int main() {
+  int it;
+  int bound = 6;
+  int ticks = 0;
+  //@mcl-begin
+  for (it = 0; it < bound; it = it + 1) {
+    ticks = it;
+  }
+  //@mcl-end
+  print_int(ticks);
+  return 0;
+}
+)";
+  auto run = test::run_pipeline(src);
+  const MclRegion region = find_mcl_region(src);
+  const Report serial_report = Session().records(run.records).region(region).run();
+  const Report sharded_report =
+      Session().records(run.records).region(region).options(with_threads(16)).run();
+  EXPECT_EQ(serial_report.verdicts.critical, sharded_report.verdicts.critical);
+  EXPECT_EQ(serial_report.verdicts.all_mli, sharded_report.verdicts.all_mli);
+}
+
+TEST(SessionParallel, SkewedSingleHotArrayMatchesSequential) {
+  // Nearly every event lands on one array, so var % threads puts almost the
+  // whole stream into a single shard — the load-balance worst case must
+  // still be bit-identical to sequential (the ROADMAP's balance follow-up is
+  // about speed, not correctness).
+  const std::string src = R"(
+double hot[128];
+int main() {
+  int it;
+  int i;
+  double checksum = 0.0;
+  for (i = 0; i < 128; i = i + 1) { hot[i] = 1.0; }
+  //@mcl-begin
+  for (it = 0; it < 6; it = it + 1) {
+    for (i = 1; i < 128; i = i + 1) {
+      hot[i] = hot[i] + hot[i - 1] * 0.5;
+    }
+    checksum = checksum + hot[127];
+  }
+  //@mcl-end
+  print_float(checksum);
+  return 0;
+}
+)";
+  auto run = test::run_pipeline(src);
+  const MclRegion region = find_mcl_region(src);
+  const Report serial = Session().records(run.records).region(region).run();
+  for (const int threads : {2, 4, 7}) {
+    const Report sharded =
+        Session().records(run.records).region(region).options(with_threads(threads)).run();
+    EXPECT_EQ(serial.verdicts.critical, sharded.verdicts.critical) << threads;
+    EXPECT_EQ(serial.verdicts.all_mli, sharded.verdicts.all_mli) << threads;
+  }
+  // The hot array itself must be in the verdict set (stale consumption of
+  // hot[i-1] across iterations), or the test is not exercising the skew.
+  bool hot_found = false;
+  for (const auto& cv : serial.verdicts.critical) hot_found |= cv.name == "hot";
+  EXPECT_TRUE(hot_found);
+}
+
 // --- trace sources ----------------------------------------------------------
 
 TEST(SessionSources, FileSerialAndParallelMatchMemory) {

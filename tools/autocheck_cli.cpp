@@ -2,7 +2,7 @@
 //
 //   autocheck <trace-file> --function <name> --begin <line> --end <line>
 //             [--threads <n> | --parallel [n]] [--paper-mli] [--dot <out.dot>]
-//             [--events <n>] [--json] [--emit-protect]
+//             [--events <n>] [--json] [--emit-protect] [--ckpt-codec SPEC]
 //
 // Input: a dynamic instruction execution trace in the LLVM-Tracer block
 // format (generate one with `minicc <prog.mc> --trace <file>`), plus the main
@@ -25,6 +25,7 @@
 
 #include "analysis/loopfinder.hpp"
 #include "analysis/session.hpp"
+#include "ckpt/codec.hpp"
 #include "support/error.hpp"
 #include "trace/source.hpp"
 
@@ -34,8 +35,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: autocheck <trace-file> --function <name> --begin <line> --end <line>\n"
                "                 [--threads <n> | --parallel [n]] [--paper-mli] [--dot <out.dot>]\n"
-               "                 [--events <n>] [--json] [--emit-protect]\n"
-               "       autocheck <trace-file> --suggest     # rank candidate main loops\n");
+               "                 [--events <n>] [--json] [--emit-protect] [--ckpt-codec SPEC]\n"
+               "       autocheck <trace-file> --suggest     # rank candidate main loops\n"
+               "  --ckpt-codec SPEC   checkpoint payload codec chain for the --emit-protect\n"
+               "                      snippet: raw | rle | lz | xor+rle | chain (= xor+rle+lz)\n");
   return 2;
 }
 
@@ -69,6 +72,7 @@ int main(int argc, char** argv) {
   bool suggest = false;
   bool json = false;
   bool emit_protect = false;
+  std::string ckpt_codec;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -104,6 +108,14 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--emit-protect") {
       emit_protect = true;
+    } else if (arg == "--ckpt-codec") {
+      ckpt_codec = next();
+      try {
+        ac::ckpt::CodecChain::parse(ckpt_codec);  // validate before emitting
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "autocheck: %s\n", e.what());
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return usage();
@@ -126,7 +138,9 @@ int main(int argc, char** argv) {
     ac::analysis::Session session;
     session.source(source).region(region).options(opts);
     if (emit_protect) {
-      session.sink(std::make_shared<ac::analysis::ProtectSink>(stdout));
+      auto sink = std::make_shared<ac::analysis::ProtectSink>(stdout);
+      if (!ckpt_codec.empty()) sink->codec_spec(ckpt_codec);
+      session.sink(sink);
     } else if (json) {
       session.sink(std::make_shared<ac::analysis::JsonSink>(stdout));
     } else {
