@@ -15,7 +15,11 @@
 // snapshot (base = first commit, input = last commit, the XOR-realistic
 // drift). `--smoke` runs a 4-app subset for CI logs: compression-ratio
 // regressions show up as a drop in the "apps improved" count, which is also
-// the exit status.
+// the exit status. `--json PATH` emits the machine-readable BENCH_engine.json
+// trajectory record (app, bytes, wall-ns, peak-RSS) that CI uploads as an
+// artifact.
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstring>
 
@@ -69,8 +73,10 @@ double mbps(std::size_t bytes, double seconds) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
   }
 
   std::printf("=== bench_engine: full-image vs critical-only vs incremental-per-codec%s ===\n\n",
@@ -98,7 +104,16 @@ int main(int argc, char** argv) {
     suite.push_back(app);
   }
 
+  struct JsonRow {
+    std::string app;
+    std::uint64_t bytes = 0;       // incremental L1 bytes (raw codec)
+    double wall_ns = 0;            // whole per-app benchmark wall time
+    long peak_rss_kb = 0;
+  };
+  std::vector<JsonRow> json_rows;
+
   for (const auto& app : suite) {
+    WallTimer app_timer;
     const apps::AnalysisRun run = apps::analyze_app(app, app.table4_params);
     const auto protect = run.report.critical_names();
     const std::string src = app.source(app.table4_params);
@@ -182,6 +197,36 @@ int main(int argc, char** argv) {
                       strf("%.0f", mbps(input.size() * kReps, dec_s * kReps))});
       }
     }
+
+    struct rusage ru{};
+    ::getrusage(RUSAGE_SELF, &ru);
+    json_rows.push_back(JsonRow{app.name, incr_raw.l1_bytes, app_timer.seconds() * 1e9,
+                                ru.ru_maxrss});
+  }
+
+  if (!json_path.empty()) {
+    // peak_rss_kb is the process-wide high-water mark sampled after each app
+    // (cumulative across the suite — one process runs all apps); the note
+    // field records that so trajectory consumers don't read it as per-app.
+    std::string json = "{\n  \"bench\": \"engine\",\n";
+    json += "  \"peak_rss_note\": \"process high-water mark, cumulative across apps\",\n";
+    json += "  \"apps\": [\n";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const JsonRow& r = json_rows[i];
+      json += strf("    {\"app\": \"%s\", \"bytes\": %llu, \"wall_ns\": %.0f, "
+                   "\"peak_rss_kb\": %ld}%s\n",
+                   r.app.c_str(), (unsigned long long)r.bytes, r.wall_ns, r.peak_rss_kb,
+                   i + 1 < json_rows.size() ? "," : "");
+    }
+    json += "  ]\n}\n";
+    std::FILE* f = std::fopen(json_path.c_str(), "wb");
+    if (!f) {
+      std::fprintf(stderr, "bench_engine: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
   }
 
   std::printf("%s\n", table.render().c_str());

@@ -1,16 +1,40 @@
-// Google-benchmark microbenchmarks for the pipeline's moving parts: VM
-// tracing throughput, trace serialization/parsing (serial vs OpenMP),
-// dependency-analysis replay, Algorithm-1 contraction, classification
-// (sequential and sharded-parallel), and checkpoint I/O. These back the
-// paper's observation that analysis time is linear in trace size with
-// parsing dominant — and show the identify phase scaling with threads.
-#include <benchmark/benchmark.h>
+// Analysis micro/throughput benchmark for the interned trace representation:
+// legacy (owning TraceRecord) parse vs the zero-copy TraceBuffer parse
+// (serial and parallel), end-to-end analysis on both representations, and
+// the sharded classification with LPT event-balanced shards — plus exact
+// representation-byte accounting and subprocess peak-RSS probes on the
+// largest selected trace.
+//
+//   bench_micro [--smoke] [--scale N] [--json PATH] [--check BASELINE.json]
+//
+// --smoke   3-app subset at unit-test knobs (CI); full mode runs all 14
+//           mini-apps at their Table II knobs.
+// --json    emit the machine-readable BENCH_analysis.json trajectory record
+//           (app, bytes, wall-ns, peak-RSS per app).
+// --check   regression gate: the parse+classify speedup of the interned path
+//           over the legacy path (measured in this same process, so the
+//           number is machine-independent) must stay within 25% of the
+//           checked-in baseline's. Exit 1 on regression.
+//
+// Verdicts are asserted bit-identical between the legacy-records path, the
+// buffer path, and the sharded buffer path on every measured app.
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "analysis/session.hpp"
 #include "apps/harness.hpp"
-#include "ckpt/ftilite.hpp"
 #include "minic/compiler.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
 #include "trace/reader.hpp"
+#include "trace/source.hpp"
 #include "trace/writer.hpp"
 #include "vm/interp.hpp"
 
@@ -18,196 +42,344 @@ using namespace ac;
 
 namespace {
 
-struct Fixture {
-  ir::Module module;
-  analysis::MclRegion region;
-  std::vector<trace::TraceRecord> records;
-  std::string text;
+long peak_rss_kb() {
+  struct rusage ru{};
+  ::getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;
+}
 
-  explicit Fixture(const char* app_name, const apps::Params& params = {}) {
-    const apps::App& app = apps::find_app(app_name);
-    module = minic::compile(app.source(params));
-    region = app.mcl();
-    trace::MemorySink sink;
-    vm::RunOptions opts;
-    opts.sink = &sink;
-    vm::run_module(module, opts);
-    records = std::move(sink.records());
-    for (const auto& r : records) text += r.to_text();
+/// Heap bytes behind a std::string (libstdc++ SSO buffer is 15 chars).
+std::uint64_t string_heap_bytes(const std::string& s) {
+  return s.capacity() > 15 ? s.capacity() + 1 : 0;
+}
+
+/// Exact resident footprint of the legacy representation.
+std::uint64_t legacy_rep_bytes(const std::vector<trace::TraceRecord>& recs) {
+  std::uint64_t total = recs.capacity() * sizeof(trace::TraceRecord);
+  for (const auto& r : recs) {
+    total += string_heap_bytes(r.func) + string_heap_bytes(r.bb);
+    total += r.operands.capacity() * sizeof(trace::Operand);
+    for (const auto& op : r.operands) total += string_heap_bytes(op.name);
+  }
+  return total;
+}
+
+struct AppBench {
+  std::string app;
+  std::uint64_t text_bytes = 0;
+  std::uint64_t records = 0;
+  std::uint64_t operands = 0;
+  double legacy_parse_s = 0;
+  double buffer_parse_s = 0;
+  double parallel_parse_s = 0;
+  double legacy_analyze_s = 0;  // records-path Session (conversion + analysis)
+  double buffer_analyze_s = 0;  // buffer-path Session
+  double classify_s = 0;
+  double classify_sharded_s = 0;
+  std::uint64_t legacy_bytes = 0;
+  std::uint64_t buffer_bytes = 0;
+  long rss_legacy_kb = 0;  // only probed on the largest app
+  long rss_buffer_kb = 0;
+
+  double speedup() const {
+    const double den = buffer_parse_s + buffer_analyze_s;
+    return den > 0 ? (legacy_parse_s + legacy_analyze_s) / den : 0;
   }
 };
 
-const Fixture& cg() {
-  static Fixture f("CG");
-  return f;
-}
-
-void BM_VmExecuteTraced(benchmark::State& state) {
-  const Fixture& f = cg();
-  for (auto _ : state) {
-    trace::NullSink sink;
-    vm::RunOptions opts;
-    opts.sink = &sink;
-    auto rr = vm::run_module(f.module, opts);
-    benchmark::DoNotOptimize(rr.steps);
-    state.SetItemsProcessed(state.items_processed() + static_cast<std::int64_t>(rr.steps));
+/// Run `self --rss-probe MODE --trace PATH` and return the child's peak RSS.
+/// (/proc/self/exe must be resolved here: inside popen's shell, "self" would
+/// be the shell.)
+long probe_rss(const char* mode, const std::string& trace_path) {
+  char exe[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (n <= 0) return 0;
+  exe[n] = '\0';
+  const std::string cmd = strf("%s --rss-probe %s --trace %s", exe, mode, trace_path.c_str());
+  std::FILE* p = ::popen(cmd.c_str(), "r");
+  if (!p) return 0;
+  char line[128];
+  long kb = 0;
+  while (std::fgets(line, sizeof(line), p)) {
+    std::sscanf(line, "RSS_KB=%ld", &kb);
   }
+  ::pclose(p);
+  return kb;
 }
-BENCHMARK(BM_VmExecuteTraced)->Unit(benchmark::kMillisecond);
 
-void BM_TraceSerialize(benchmark::State& state) {
-  const Fixture& f = cg();
-  for (auto _ : state) {
-    std::string out;
-    out.reserve(f.text.size());
-    for (const auto& r : f.records) out += r.to_text();
-    benchmark::DoNotOptimize(out.size());
+int rss_probe_main(const std::string& mode, const std::string& path) {
+  if (mode == "legacy") {
+    const auto recs = trace::read_trace_file(path);
+    std::printf("RSS_KB=%ld RECORDS=%zu\n", peak_rss_kb(), recs.size());
+  } else {
+    trace::FileSource src(path);
+    const auto& buf = src.buffer();
+    std::printf("RSS_KB=%ld RECORDS=%zu\n", peak_rss_kb(), buf.size());
   }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(f.text.size()));
+  return 0;
 }
-BENCHMARK(BM_TraceSerialize)->Unit(benchmark::kMillisecond);
 
-void BM_TraceParseSerial(benchmark::State& state) {
-  const Fixture& f = cg();
-  for (auto _ : state) {
-    auto recs = trace::read_trace_text(f.text);
-    benchmark::DoNotOptimize(recs.size());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(f.text.size()));
+bool verdicts_equal(const analysis::Report& a, const analysis::Report& b) {
+  return a.verdicts.critical == b.verdicts.critical && a.verdicts.all_mli == b.verdicts.all_mli;
 }
-BENCHMARK(BM_TraceParseSerial)->Unit(benchmark::kMillisecond);
 
-void BM_TraceParseParallel(benchmark::State& state) {
-  const Fixture& f = cg();
-  for (auto _ : state) {
-    auto recs = trace::read_trace_text_parallel(f.text, static_cast<int>(state.range(0)));
-    benchmark::DoNotOptimize(recs.size());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(f.text.size()));
-}
-BENCHMARK(BM_TraceParseParallel)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+AppBench bench_app(const apps::App& app, const apps::Params& params, bool probe_largest) {
+  AppBench out;
+  out.app = app.name;
 
-void BM_Preprocess(benchmark::State& state) {
-  const Fixture& f = cg();
-  for (auto _ : state) {
-    auto pre = analysis::preprocess(f.records, f.region);
-    benchmark::DoNotOptimize(pre.mli.size());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(f.records.size()));
-}
-BENCHMARK(BM_Preprocess)->Unit(benchmark::kMillisecond);
+  // Trace generation (VM) — excluded from every measurement.
+  trace::MemorySink sink;
+  const ir::Module module = minic::compile(app.source(params));
+  vm::RunOptions ropts;
+  ropts.sink = &sink;
+  vm::run_module(module, ropts);
+  const std::vector<trace::TraceRecord> records = std::move(sink.records());
+  std::string text;
+  for (const auto& r : records) text += r.to_text();
+  out.text_bytes = text.size();
+  const analysis::MclRegion region = app.mcl();
 
-void BM_DepAnalysis(benchmark::State& state) {
-  const Fixture& f = cg();
-  const bool with_ddg = state.range(0) != 0;
-  for (auto _ : state) {
-    auto pre = analysis::preprocess(f.records, f.region);
-    analysis::DepOptions opts;
-    opts.build_ddg = with_ddg;
-    auto dep = analysis::dep_analysis(f.records, pre, f.region, opts);
-    benchmark::DoNotOptimize(dep.events.size());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(f.records.size()));
-}
-BENCHMARK(BM_DepAnalysis)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+  // Small traces are measured best-of-3 so the CI regression gate compares
+  // stable numbers, not one-shot millisecond samples on a noisy runner.
+  const int reps = text.size() < (8u << 20) ? 3 : 1;
+  auto best_of = [&](auto&& fn) {
+    double best = 0;
+    for (int r = 0; r < reps; ++r) {
+      WallTimer t;
+      fn();
+      const double s = t.seconds();
+      if (r == 0 || s < best) best = s;
+    }
+    return best;
+  };
 
-void BM_ContractDdg(benchmark::State& state) {
-  const Fixture& f = cg();
-  auto pre = analysis::preprocess(f.records, f.region);
-  auto dep = analysis::dep_analysis(f.records, pre, f.region);
-  for (auto _ : state) {
-    auto contracted = dep.complete.contract();
-    benchmark::DoNotOptimize(contracted.num_nodes());
-  }
-}
-BENCHMARK(BM_ContractDdg);
+  // Parse: legacy owning records vs zero-copy interned buffer.
+  std::vector<trace::TraceRecord> legacy_recs;
+  out.legacy_parse_s = best_of([&] { legacy_recs = trace::read_trace_text(text); });
+  out.legacy_bytes = legacy_rep_bytes(legacy_recs);
 
-void BM_Classify(benchmark::State& state) {
-  const Fixture& f = cg();
-  auto pre = analysis::preprocess(f.records, f.region);
-  analysis::DepOptions opts;
-  opts.build_ddg = false;
-  auto dep = analysis::dep_analysis(f.records, pre, f.region, opts);
-  for (auto _ : state) {
-    auto verdicts = analysis::classify(dep, pre);
-    benchmark::DoNotOptimize(verdicts.critical.size());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(dep.events.size()));
-}
-BENCHMARK(BM_Classify);
+  trace::TraceBuffer buf;
+  out.buffer_parse_s = best_of([&] { buf = trace::read_trace_buffer(text); });
+  out.buffer_bytes = buf.byte_size();
+  out.records = buf.size();
+  out.operands = buf.operands().size();
 
-void BM_ClassifySharded(benchmark::State& state) {
-  // The Session pipeline's parallel identify stage: the MLI event stream is
-  // sharded per variable and the shards classified concurrently. Arg = worker
-  // count; Arg(1) is the sequential baseline. Uses a larger CG instance so
-  // each shard amortizes its thread. On a single-core container the scaling
-  // shows in the CPU column / items_per_second (per-worker cost halves),
-  // like the OpenMP-read caveat in bench_table3.
-  static Fixture f("CG", {{"N", "40"}, {"NITER", "6"}, {"CGITMAX", "8"}});
-  auto pre = analysis::preprocess(f.records, f.region);
-  analysis::DepOptions opts;
-  opts.build_ddg = false;
-  auto dep = analysis::dep_analysis(f.records, pre, f.region, opts);
-  const int threads = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    auto verdicts = analysis::classify_sharded(dep, pre, threads);
-    benchmark::DoNotOptimize(verdicts.critical.size());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(dep.events.size()));
-}
-BENCHMARK(BM_ClassifySharded)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+  trace::TraceBuffer par_buf;
+  out.parallel_parse_s = best_of([&] { par_buf = trace::read_trace_buffer_parallel(text, 4); });
 
-void BM_EndToEndAnalysis(benchmark::State& state) {
-  // Scale the CG problem to show linearity in trace size.
-  static Fixture small("CG", {{"N", "12"}, {"NITER", "3"}, {"CGITMAX", "3"}});
-  static Fixture medium("CG", {{"N", "24"}, {"NITER", "4"}, {"CGITMAX", "5"}});
-  static Fixture large("CG", {{"N", "40"}, {"NITER", "6"}, {"CGITMAX", "8"}});
-  const Fixture* f = state.range(0) == 0 ? &small : (state.range(0) == 1 ? &medium : &large);
+  // End-to-end analysis through the Session on both representations (the
+  // records path re-interns per repetition, exactly what a legacy caller pays).
   analysis::AnalysisOptions opts;
   opts.build_ddg = false;
-  for (auto _ : state) {
-    auto report =
-        analysis::Session().records(f->records).region(f->region).options(opts).run();
-    benchmark::DoNotOptimize(report.verdicts.critical.size());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(f->records.size()));
-}
-BENCHMARK(BM_EndToEndAnalysis)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+  analysis::Report legacy_report;
+  out.legacy_analyze_s = best_of([&] {
+    legacy_report = analysis::Session().records(legacy_recs).region(region).options(opts).run();
+  });
+  legacy_recs = {};  // release before the buffer run
 
-void BM_CheckpointSaveRecover(benchmark::State& state) {
-  ckpt::CheckpointImage img;
-  std::vector<ckpt::Cell> cells(static_cast<std::size_t>(state.range(0)));
-  for (std::size_t i = 0; i < cells.size(); ++i) cells[i] = {i, 0};
-  img.add("u", cells);
-  ckpt::FtiLite fti("/tmp", "ac_bench_micro");
-  for (auto _ : state) {
-    fti.checkpoint(img);
-    auto back = fti.recover();
-    benchmark::DoNotOptimize(back.vars().size());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(img.byte_size()));
-  fti.reset();
-}
-BENCHMARK(BM_CheckpointSaveRecover)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+  // One Session per repetition over the same borrowed buffer source so the
+  // parse isn't re-paid inside the analyze measurement.
+  auto source = std::make_shared<trace::MemorySource>(std::move(par_buf));
+  source->buffer();  // materialize outside the timed region
+  analysis::Report buffer_report;
+  out.buffer_analyze_s = best_of([&] {
+    buffer_report = analysis::Session().source(source).region(region).options(opts).run();
+  });
 
-void BM_MiniCCompile(benchmark::State& state) {
-  const std::string src = apps::find_app("LU").source();
-  for (auto _ : state) {
-    auto mod = minic::compile(src);
-    benchmark::DoNotOptimize(mod.functions.size());
+  // Classification alone, sequential vs LPT-sharded on 4 workers.
+  auto pre = analysis::preprocess(buf, region);
+  analysis::DepOptions dopts;
+  dopts.build_ddg = false;
+  auto dep = analysis::dep_analysis(buf, pre, region, dopts);
+  analysis::ClassifyResult seq_verdicts, shard_verdicts;
+  out.classify_s = best_of([&] { seq_verdicts = analysis::classify(dep, pre); });
+  out.classify_sharded_s =
+      best_of([&] { shard_verdicts = analysis::classify_sharded(dep, pre, 4); });
+
+  if (!verdicts_equal(legacy_report, buffer_report) ||
+      seq_verdicts.critical != shard_verdicts.critical ||
+      seq_verdicts.all_mli != shard_verdicts.all_mli) {
+    std::fprintf(stderr, "bench_micro: VERDICT MISMATCH on %s\n", app.name.c_str());
+    std::exit(1);
   }
+
+  if (probe_largest) {
+    const std::string path = "/tmp/ac_bench_micro_" + app.name + ".trace";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      out.rss_legacy_kb = probe_rss("legacy", path);
+      out.rss_buffer_kb = probe_rss("buffer", path);
+      std::remove(path.c_str());
+    }
+  }
+  return out;
 }
-BENCHMARK(BM_MiniCCompile);
+
+std::string to_json(const std::vector<AppBench>& results, int scale) {
+  std::string out = "{\n  \"bench\": \"analysis\",\n";
+  out += strf("  \"scale\": %d,\n  \"apps\": [\n", scale);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const AppBench& r = results[i];
+    out += strf(
+        "    {\"app\": \"%s\", \"text_bytes\": %llu, \"records\": %llu, \"operands\": %llu,\n"
+        "     \"legacy_parse_ns\": %.0f, \"buffer_parse_ns\": %.0f, \"parallel_parse_ns\": %.0f,\n"
+        "     \"legacy_analyze_ns\": %.0f, \"buffer_analyze_ns\": %.0f,\n"
+        "     \"classify_ns\": %.0f, \"classify_sharded_ns\": %.0f,\n"
+        "     \"legacy_rep_bytes\": %llu, \"buffer_rep_bytes\": %llu,\n"
+        "     \"peak_rss_legacy_kb\": %ld, \"peak_rss_buffer_kb\": %ld,\n"
+        "     \"wall_ns\": %.0f, \"speedup_parse_classify\": %.3f}%s\n",
+        r.app.c_str(), (unsigned long long)r.text_bytes, (unsigned long long)r.records,
+        (unsigned long long)r.operands, r.legacy_parse_s * 1e9, r.buffer_parse_s * 1e9,
+        r.parallel_parse_s * 1e9, r.legacy_analyze_s * 1e9, r.buffer_analyze_s * 1e9,
+        r.classify_s * 1e9, r.classify_sharded_s * 1e9, (unsigned long long)r.legacy_bytes,
+        (unsigned long long)r.buffer_bytes, r.rss_legacy_kb, r.rss_buffer_kb,
+        (r.buffer_parse_s + r.buffer_analyze_s) * 1e9, r.speedup(),
+        i + 1 < results.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+/// Minimal extraction of "speedup_parse_classify" per app from a baseline
+/// JSON produced by --json (no general JSON parser needed for our own file).
+double baseline_speedup(const std::string& json, const std::string& app) {
+  const std::string needle = "\"app\": \"" + app + "\"";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return 0;
+  const std::string key = "\"speedup_parse_classify\": ";
+  const std::size_t kat = json.find(key, at);
+  if (kat == std::string::npos) return 0;
+  return std::atof(json.c_str() + kat + key.size());
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int scale = 1;
+  std::string json_path, check_path, probe_mode, probe_trace;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_micro: missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--scale") {
+      scale = std::atoi(next());
+      if (scale < 1) scale = 1;
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--check") {
+      check_path = next();
+    } else if (arg == "--rss-probe") {
+      probe_mode = next();
+    } else if (arg == "--trace") {
+      probe_trace = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_micro [--smoke] [--scale N] [--json PATH] [--check BASELINE]\n");
+      return 2;
+    }
+  }
+  if (!probe_mode.empty()) return rss_probe_main(probe_mode, probe_trace);
+
+  std::printf("=== bench_micro: legacy vs interned trace representation%s ===\n\n",
+              smoke ? " (smoke subset)" : "");
+
+  std::vector<std::pair<apps::App, apps::Params>> suite;
+  for (const auto& app : apps::registry()) {
+    if (smoke && app.name != "CG" && app.name != "IS" && app.name != "HACC") continue;
+    const apps::Params base = smoke ? app.default_params : app.table2_params;
+    suite.emplace_back(app, app.scaled_params(base, scale));
+  }
+
+  // Probe peak RSS on the app with the largest trace (measured text size is
+  // not known up front; use the last run's sizes by benchmarking in two
+  // passes: everything first, then re-run the largest with probes).
+  std::vector<AppBench> results;
+  for (const auto& [app, params] : suite) {
+    results.push_back(bench_app(app, params, /*probe_largest=*/false));
+  }
+  std::size_t largest = 0;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    if (results[i].text_bytes > results[largest].text_bytes) largest = i;
+  }
+  results[largest] = bench_app(suite[largest].first, suite[largest].second,
+                               /*probe_largest=*/true);
+
+  TextTable table({"App", "Trace", "Records", "Parse(legacy)", "Parse(buf)", "Analyze(legacy)",
+                   "Analyze(buf)", "Speedup", "Rep(legacy)", "Rep(buf)", "Rep ratio"});
+  for (const auto& r : results) {
+    table.add_row({r.app, human_bytes(r.text_bytes), strf("%llu", (unsigned long long)r.records),
+                   strf("%.3fs", r.legacy_parse_s), strf("%.3fs", r.buffer_parse_s),
+                   strf("%.3fs", r.legacy_analyze_s), strf("%.3fs", r.buffer_analyze_s),
+                   strf("%.2fx", r.speedup()), human_bytes(r.legacy_bytes),
+                   human_bytes(r.buffer_bytes),
+                   strf("%.1fx", r.buffer_bytes
+                                     ? (double)r.legacy_bytes / (double)r.buffer_bytes
+                                     : 0.0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const AppBench& big = results[largest];
+  std::printf("Largest trace: %s (%s). Peak RSS parsing it in a fresh process:\n"
+              "  legacy representation %s, interned buffer %s (%.1fx lower)\n",
+              big.app.c_str(), human_bytes(big.text_bytes).c_str(),
+              human_bytes((std::uint64_t)big.rss_legacy_kb * 1024).c_str(),
+              human_bytes((std::uint64_t)big.rss_buffer_kb * 1024).c_str(),
+              big.rss_buffer_kb ? (double)big.rss_legacy_kb / (double)big.rss_buffer_kb : 0.0);
+  std::printf("Classify sequential %.4fs vs LPT-sharded(4) %.4fs on %s\n\n", big.classify_s,
+              big.classify_sharded_s, big.app.c_str());
+
+  if (!json_path.empty()) {
+    const std::string json = to_json(results, scale);
+    std::FILE* f = std::fopen(json_path.c_str(), "wb");
+    if (!f) {
+      std::fprintf(stderr, "bench_micro: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!check_path.empty()) {
+    std::string baseline;
+    try {
+      baseline = trace::read_file_bytes(check_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_micro: cannot read baseline: %s\n", e.what());
+      return 1;
+    }
+    int checked = 0;
+    bool regressed = false;
+    for (const auto& r : results) {
+      const double want = baseline_speedup(baseline, r.app);
+      if (want <= 0) continue;
+      ++checked;
+      // The speedup is a same-process ratio, so it transfers across machines;
+      // >25% of it lost means the interned parse+classify path regressed.
+      const bool bad = r.speedup() < 0.75 * want;
+      std::printf("check %-8s speedup %.2fx vs baseline %.2fx -> %s\n", r.app.c_str(),
+                  r.speedup(), want, bad ? "REGRESSED" : "ok");
+      regressed = regressed || bad;
+    }
+    if (checked == 0) {
+      std::fprintf(stderr, "bench_micro: baseline has no overlapping apps\n");
+      return 1;
+    }
+    if (regressed) {
+      std::printf("FAIL: parse+classify regressed >25%% against %s\n", check_path.c_str());
+      return 1;
+    }
+    std::printf("parse+classify speedup within 25%% of baseline (%d app(s) checked)\n", checked);
+  }
+  return 0;
+}

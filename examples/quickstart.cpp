@@ -51,8 +51,10 @@ int main() {
   // 1. Compile.
   const ac::ir::Module module = ac::minic::compile(source);
 
-  // 2. Trace one execution.
-  ac::trace::MemorySink trace;
+  // 2. Trace one execution. BufferSink interns records into the compact
+  //    SoA TraceBuffer as they are emitted — the analysis's native input
+  //    (see README "Trace memory model").
+  ac::trace::BufferSink trace;
   ac::vm::RunOptions run_opts;
   run_opts.sink = &trace;
   const ac::vm::RunResult result = ac::vm::run_module(module, run_opts);
@@ -62,11 +64,12 @@ int main() {
 
   // 3. Analyze through the Session pipeline. The MCL region comes from the
   //    source markers here; in general the user supplies the host function
-  //    and start/end line numbers. The same Session accepts a .file() trace
-  //    or a .live() execution, and options({.threads = N}) parallelizes both
-  //    the read and the classification stage.
+  //    and start/end line numbers. The same Session accepts a .file() trace,
+  //    legacy .records(), or a .live() execution, and
+  //    options({.threads = N}) parallelizes both the read and the
+  //    classification stage.
   const ac::analysis::Report report = ac::analysis::Session()
-                                          .records(trace.records())
+                                          .buffer(trace.take())
                                           .region_from_markers(source)
                                           .run();
 

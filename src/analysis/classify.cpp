@@ -175,6 +175,32 @@ ClassifyResult classify(const DepResult& dep, const PreprocessResult& pre) {
   return assemble(scan_events(dep.events.data(), dep.events.size()), dep, pre);
 }
 
+std::vector<int> lpt_shard_assignment(const std::vector<std::pair<int, std::uint64_t>>& counts,
+                                      int nshards) {
+  std::vector<int> assignment(counts.size(), 0);
+  if (nshards <= 1) return assignment;
+
+  // Sort by descending event count, ties by ascending var id — deterministic
+  // regardless of the order counts were gathered in.
+  std::vector<std::size_t> order(counts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (counts[a].second != counts[b].second) return counts[a].second > counts[b].second;
+    return counts[a].first < counts[b].first;
+  });
+
+  std::vector<std::uint64_t> load(static_cast<std::size_t>(nshards), 0);
+  for (const std::size_t i : order) {
+    std::size_t lightest = 0;
+    for (std::size_t s = 1; s < load.size(); ++s) {
+      if (load[s] < load[lightest]) lightest = s;
+    }
+    assignment[i] = static_cast<int>(lightest);
+    load[lightest] += counts[i].second;
+  }
+  return assignment;
+}
+
 ClassifyResult classify_sharded(const DepResult& dep, const PreprocessResult& pre, int threads) {
   // More shards than MLI variables only produces empty shards, and an
   // unbounded user-supplied count must not translate into thousands of
@@ -182,17 +208,31 @@ ClassifyResult classify_sharded(const DepResult& dep, const PreprocessResult& pr
   threads = std::min({threads, 256, std::max<int>(1, static_cast<int>(pre.mli.size()))});
   if (threads <= 1 || dep.events.empty()) return classify(dep, pre);
 
-  // Partition the event stream per variable (var -> shard by id), preserving
-  // execution order within each shard. Each shard is variable-complete: every
-  // event of a variable lands in the same shard, which is all scan_events()
-  // needs to reproduce the sequential verdict for that variable.
-  const std::size_t nshards = static_cast<std::size_t>(threads);
-  std::vector<std::vector<AccessEvent>> shards(nshards);
-  for (auto& shard : shards) shard.reserve(dep.events.size() / nshards + 1);
+  // Per-variable event totals, then the LPT assignment: the skewed apps put
+  // nearly every event on one hot array, so `var % threads` used to hand one
+  // worker the whole stream — balancing by event count is the ROADMAP's
+  // rebalancing follow-up (a speed change only; verdicts are pinned
+  // bit-identical by tests/test_session.cpp).
+  // Var ids are dense small ints, so the counting and the shard-of-var table
+  // are flat arrays — workers index, they don't hash.
+  std::size_t max_var = 0;
   for (const AccessEvent& ev : dep.events) {
-    shards[static_cast<std::size_t>(ev.var) % nshards].push_back(ev);
+    max_var = std::max(max_var, static_cast<std::size_t>(ev.var));
+  }
+  std::vector<std::uint64_t> totals(max_var + 1, 0);
+  for (const AccessEvent& ev : dep.events) ++totals[static_cast<std::size_t>(ev.var)];
+  std::vector<std::pair<int, std::uint64_t>> counts;
+  for (std::size_t var = 0; var <= max_var; ++var) {
+    if (totals[var]) counts.emplace_back(static_cast<int>(var), totals[var]);
+  }
+  const std::vector<int> assignment = lpt_shard_assignment(counts, threads);
+  std::vector<int> shard_of(max_var + 1, -1);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    shard_of[static_cast<std::size_t>(counts[i].first)] = assignment[i];
   }
 
+  const std::size_t nshards = static_cast<std::size_t>(threads);
+  std::vector<std::vector<AccessEvent>> shards(nshards);
   std::vector<std::unordered_map<int, VarVerdict>> partial(nshards);
   {
     std::vector<std::thread> pool;
@@ -207,8 +247,21 @@ ClassifyResult classify_sharded(const DepResult& dep, const PreprocessResult& pr
         }
       }
     } joiner{pool};
+    // The per-variable event extraction fans out onto the same pool (the
+    // ROADMAP's "parallelize dep-analysis" follow-up: the replay is
+    // sequential by nature, but the extraction is a data-parallel sweep):
+    // every worker scans the shared event array once, keeping the events of
+    // its own shard's variables in execution order, then scans its shard.
     for (std::size_t s = 0; s < nshards; ++s) {
-      pool.emplace_back([&, s] { partial[s] = scan_events(shards[s].data(), shards[s].size()); });
+      pool.emplace_back([&, s] {
+        std::vector<AccessEvent>& mine = shards[s];
+        for (const AccessEvent& ev : dep.events) {
+          if (static_cast<std::size_t>(shard_of[static_cast<std::size_t>(ev.var)]) == s) {
+            mine.push_back(ev);
+          }
+        }
+        partial[s] = scan_events(mine.data(), mine.size());
+      });
     }
   }
 

@@ -58,6 +58,22 @@ ClassifyResult classify(const DepResult& dep, const PreprocessResult& pre);
 /// discovery order. Bit-identical to classify() by construction — same scan
 /// per variable, same deterministic assembly. `threads` <= 1 is the
 /// sequential path.
+///
+/// Shards are assigned by event-count balance (LPT over per-variable event
+/// totals, see lpt_shard_assignment), and the per-variable event extraction
+/// itself fans out onto the same worker pool: each worker sweeps the shared
+/// event array once and keeps its own shard's variables, so a skewed app
+/// (one hot array) no longer serializes both the extraction and the scan.
 ClassifyResult classify_sharded(const DepResult& dep, const PreprocessResult& pre, int threads);
+
+/// Longest-processing-time assignment of variables to shards: variables
+/// sorted by descending event count (ties by ascending var id) each go to the
+/// currently lightest shard (ties to the lowest shard index) — deterministic,
+/// and within 4/3 of the optimal makespan. `loads[i]` of the returned
+/// assignment is the shard index of `counts[i].first`. Exposed for tests and
+/// benchmarks.
+///   counts: (var id, event count) pairs; nshards >= 1.
+std::vector<int> lpt_shard_assignment(const std::vector<std::pair<int, std::uint64_t>>& counts,
+                                      int nshards);
 
 }  // namespace ac::analysis

@@ -7,6 +7,13 @@
 //   * the complete DDG over variables and registers (Fig. 5(c));
 //   * induction-detection facts (header condition reads, self-dependent
 //     header stores, loop write set).
+//
+// The replay runs natively on the interned packed representation: register
+// provenance and the reg-reg map are keyed by SymbolPool ids (integer hashes,
+// no string traffic), and DDG nodes are resolved through id-keyed caches that
+// produce exactly the legacy labels. One implementation serves the batch path
+// (a TraceBuffer replay) and the streaming path (TraceRecords packed one at a
+// time), so batch and streaming results are identical by construction.
 #pragma once
 
 #include <cstdint>
@@ -48,7 +55,12 @@ struct DepResult {
   std::uint64_t pointer_assignments = 0;
 };
 
+/// Batch replay over the interned buffer (the fast path).
 /// `pre.vars` is extended in place (callee locals may first appear here).
+DepResult dep_analysis(const trace::TraceBuffer& buf, PreprocessResult& pre,
+                       const MclRegion& region, const DepOptions& opts = {});
+
+/// Legacy batch entry point over owning records (wraps the streaming class).
 DepResult dep_analysis(const std::vector<trace::TraceRecord>& records, PreprocessResult& pre,
                        const MclRegion& region, const DepOptions& opts = {});
 
@@ -66,8 +78,9 @@ class DepAnalyzer {
   void add(const trace::TraceRecord& rec);
   DepResult finish();
 
- private:
   struct Impl;
+
+ private:
   std::unique_ptr<Impl> impl_;
 };
 

@@ -1,5 +1,11 @@
 // Pre-processing module (paper §IV-A and Fig. 3): partition the trace around
 // the main computation loop and identify the Main-Loop-Input (MLI) variables.
+//
+// The scan runs natively on the interned packed representation
+// (trace/buffer.hpp): one implementation serves the batch path (a replay of a
+// TraceBuffer, zero per-record conversion) and the streaming path (legacy
+// TraceRecords packed one at a time into a scratch buffer) — so batch and
+// streaming results are identical by construction.
 #pragma once
 
 #include <cstddef>
@@ -9,6 +15,7 @@
 
 #include "analysis/region.hpp"
 #include "analysis/vartable.hpp"
+#include "trace/buffer.hpp"
 #include "trace/record.hpp"
 
 namespace ac::analysis {
@@ -31,6 +38,7 @@ struct Partition {
 /// Locate the loop: the first/last records executed at the host function's
 /// MCL source lines. Throws ac::AnalysisError when the region never executes.
 Partition partition_trace(const std::vector<trace::TraceRecord>& records, const MclRegion& region);
+Partition partition_trace(const trace::TraceBuffer& buf, const MclRegion& region);
 
 enum class MliMode {
   /// Default: address-resolved matching — a variable is MLI iff its storage
@@ -61,13 +69,20 @@ struct PreprocessResult {
   std::uint64_t records_scanned = 0;
 };
 
+/// Batch pre-processing over the interned buffer (the fast path).
+PreprocessResult preprocess(const trace::TraceBuffer& buf, const MclRegion& region,
+                            MliMode mode = MliMode::AddressResolved);
+
+/// Legacy batch entry point over owning records (wraps the streaming class).
 PreprocessResult preprocess(const std::vector<trace::TraceRecord>& records,
                             const MclRegion& region, MliMode mode = MliMode::AddressResolved);
 
 /// Incremental pre-processing: feed records one at a time (e.g. directly from
 /// an instrumented execution, the paper's stated future work) and call
-/// finish() once. preprocess() above is a thin wrapper over this class, so
-/// batch and streaming results are identical by construction.
+/// finish() once. Each record is packed into a private scratch buffer (names
+/// interned into the collector's own pool) and handed to the same scan the
+/// batch path runs, so batch and streaming results are identical by
+/// construction.
 class MliCollector {
  public:
   explicit MliCollector(const MclRegion& region, MliMode mode = MliMode::AddressResolved);
@@ -79,8 +94,9 @@ class MliCollector {
   /// Throws ac::AnalysisError when the region never executed.
   PreprocessResult finish();
 
- private:
   struct Impl;
+
+ private:
   std::unique_ptr<Impl> impl_;
 };
 

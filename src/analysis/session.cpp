@@ -66,21 +66,25 @@ void DotSink::consume(const Report& report, const SessionContext&) {
 }
 
 void ProtectSink::consume(const Report& report, const SessionContext& ctx) {
-  if (!ctx.records) {
+  if (!ctx.trace) {
     throw Error("ProtectSink: needs a materialized trace to resolve arena addresses "
                 "(live sources never materialize one)");
   }
-  // One sweep: the last Alloca per variable name in the MCL host function
-  // (or globals) is the binding live at the loop.
+  // One sweep over the packed records: the last Alloca per variable name in
+  // the MCL host function (or globals) is the binding live at the loop.
+  const trace::SymbolPool& pool = ctx.trace->pool();
+  const std::uint32_t host_func = pool.lookup(ctx.region.function);
+  const std::uint32_t global_func = pool.lookup("<global>");
   std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> allocas;  // name -> (addr, bytes)
-  for (const auto& rec : *ctx.records) {
-    if (rec.opcode != trace::Opcode::Alloca) continue;
-    if (rec.func != ctx.region.function && rec.func != "<global>") continue;
+  for (std::size_t i = 0; i < ctx.trace->size(); ++i) {
+    const trace::RecordView rec = ctx.trace->view(i);
+    if (rec.opcode() != trace::Opcode::Alloca) continue;
+    if (rec.func_id() != host_func && rec.func_id() != global_func) continue;
     const auto* result = rec.find(trace::OperandSlot::Result);
     if (!result) continue;
     const auto* size = rec.input(1);
-    allocas[result->name] = {result->value.addr,
-                             size ? static_cast<std::uint64_t>(size->value.i) : 0};
+    allocas[std::string(rec.name(*result))] = {
+        result->value().addr, size ? static_cast<std::uint64_t>(size->value().i) : 0};
   }
   std::string text = strf("// CheckpointEngine registration for %s (function %s, lines %d..%d)\n",
                           ctx.source_name.c_str(), ctx.region.function.c_str(),
@@ -113,6 +117,10 @@ Session& Session::source(std::shared_ptr<trace::TraceSource> src) {
 
 Session& Session::file(const std::string& path) {
   return source(std::make_shared<trace::FileSource>(path));
+}
+
+Session& Session::buffer(trace::TraceBuffer&& buf) {
+  return source(std::make_shared<trace::MemorySource>(std::move(buf)));
 }
 
 Session& Session::records(const std::vector<trace::TraceRecord>& recs) {
@@ -157,7 +165,7 @@ Report Session::run() {
 
   Report report = source_->live() ? run_live() : run_batch();
 
-  const SessionContext ctx{region_, source_->live() ? nullptr : &source_->records(),
+  const SessionContext ctx{region_, source_->live() ? nullptr : &source_->buffer(),
                            source_->describe()};
   for (const auto& s : sinks_) s->consume(report, ctx);
   return report;
@@ -167,10 +175,12 @@ Report Session::run_batch() {
   Report report;
   report.region = region_;
 
-  const std::vector<trace::TraceRecord>& recs = source_->records();
+  // The whole batch pipeline replays the interned span-based representation;
+  // no owning TraceRecord is ever materialized.
+  const trace::TraceBuffer& buf = source_->buffer();
 
   WallTimer timer;
-  report.pre = preprocess(recs, region_, opts_.mli_mode);
+  report.pre = preprocess(buf, region_, opts_.mli_mode);
   // Trace parsing is attributed to pre-processing (it dominates, as the
   // paper observes); in-memory sources contribute zero.
   report.timings.preprocessing = source_->read_seconds() + timer.seconds();
@@ -178,7 +188,7 @@ Report Session::run_batch() {
   timer.reset();
   DepOptions dep_opts;
   dep_opts.build_ddg = opts_.build_ddg;
-  report.dep = dep_analysis(recs, report.pre, region_, dep_opts);
+  report.dep = dep_analysis(buf, report.pre, region_, dep_opts);
   report.timings.dep_analysis = timer.seconds();
 
   timer.reset();

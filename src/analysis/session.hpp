@@ -69,8 +69,10 @@ int default_thread_count();
 /// What a sink sees besides the Report itself.
 struct SessionContext {
   const MclRegion& region;
-  /// The materialized trace, or nullptr for live sources.
-  const std::vector<trace::TraceRecord>* records = nullptr;
+  /// The materialized trace in its interned packed form, or nullptr for live
+  /// sources. Sinks that need owning TraceRecords can materialize individual
+  /// views (trace->materialize(i)).
+  const trace::TraceBuffer* trace = nullptr;
   /// TraceSource::describe() of the session's source.
   std::string source_name;
 };
@@ -163,11 +165,14 @@ class Session {
 
   /// Any TraceSource implementation.
   Session& source(std::shared_ptr<trace::TraceSource> src);
-  /// Trace file (serial or parallel mmap read, per options().threads).
+  /// Trace file (serial or parallel zero-copy mmap parse, per options().threads).
   Session& file(const std::string& path);
-  /// Borrowed in-memory records (caller keeps them alive across run()).
+  /// An interned trace buffer (zero-copy; e.g. from trace::BufferSink).
+  Session& buffer(trace::TraceBuffer&& buf);
+  /// Borrowed legacy in-memory records (caller keeps them alive across run();
+  /// interned into a buffer on first use).
   Session& records(const std::vector<trace::TraceRecord>& recs);
-  /// Owned in-memory records.
+  /// Owned legacy in-memory records (interned immediately).
   Session& records(std::vector<trace::TraceRecord>&& recs);
   /// Live instrumented execution; the generator is run once per pass.
   Session& live(trace::LiveSource::Generator gen);

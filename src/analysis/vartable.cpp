@@ -4,9 +4,9 @@
 
 namespace ac::analysis {
 
-int VarTable::canonical(const std::string& func, const std::string& name, int decl_line,
+int VarTable::canonical(std::string_view func, std::string_view name, int decl_line,
                         std::uint64_t bytes) {
-  std::string key = func;
+  std::string key(func);
   key.push_back('\0');
   key += name;
   key.push_back('\0');
@@ -15,8 +15,8 @@ int VarTable::canonical(const std::string& func, const std::string& name, int de
   if (inserted) {
     VarDef def;
     def.id = it->second;
-    def.name = name;
-    def.func = func;
+    def.name = std::string(name);
+    def.func = std::string(func);
     def.decl_line = decl_line;
     def.bytes = bytes;
     defs_.push_back(std::move(def));
@@ -24,6 +24,21 @@ int VarTable::canonical(const std::string& func, const std::string& name, int de
     defs_[static_cast<std::size_t>(it->second)].bytes = bytes;
   }
   return it->second;
+}
+
+int AllocaSiteCache::canonical(VarTable& vars, const trace::SymbolPool& pool,
+                               std::uint32_t func, std::uint32_t name, int decl_line,
+                               std::uint64_t bytes) {
+  auto& entries = sites_[(static_cast<std::uint64_t>(func) << 32) | name];
+  for (const auto& [known_line, id] : entries) {
+    if (known_line == decl_line) {
+      vars.update_bytes(id, bytes);
+      return id;
+    }
+  }
+  const int id = vars.canonical(pool.view(func), pool.view(name), decl_line, bytes);
+  entries.emplace_back(decl_line, id);
+  return id;
 }
 
 void AddressMap::bind(std::uint64_t base, std::uint64_t bytes, int var_id) {

@@ -15,6 +15,7 @@ App make_amg() {
   app.default_params = {{"N", "16"}, {"NPROB", "5"}, {"SMAX", "6"}};
   app.table2_params = {{"N", "24"}, {"NPROB", "8"}, {"SMAX", "8"}};
   app.table4_params = {{"N", "96"}, {"NPROB", "3"}, {"SMAX", "4"}};
+  app.scale_knobs = {"SMAX"};
   app.expected = {
       {"diagonal", analysis::DepType::WAR},
       {"cum_num_its", analysis::DepType::WAR},

@@ -30,12 +30,19 @@ struct App {
   Params default_params;    // unit-test scale
   Params table2_params;     // Table II reproduction scale
   Params table4_params;     // Table IV (storage) scale
+  /// Iteration knobs that grow linearly under `harness --scale N` (declared
+  /// per app: multiplying a *size* knob would scale work superlinearly).
+  std::vector<std::string> scale_knobs;
   std::vector<ExpectedVar> expected;  // the paper's Table II verdicts
   std::string paper_mclr;   // the paper's MCLR column, for the report
 
   /// Instantiate the MiniC source with the given (or default) knobs.
   std::string source(const Params& params) const;
   std::string source() const { return source(default_params); }
+
+  /// `base` with every scale_knob multiplied by `scale` (scale 1 = base):
+  /// the `--scale` workload profile, trace size growing ~linearly in N.
+  Params scaled_params(const Params& base, int scale) const;
 
   /// MCL region of the instantiated source (markers don't move with knobs).
   analysis::MclRegion mcl() const;

@@ -14,6 +14,7 @@ App make_bt() {
   app.default_params = {{"G", "8"}, {"NS", "6"}};
   app.table2_params = {{"G", "12"}, {"NS", "10"}};
   app.table4_params = {{"G", "24"}, {"NS", "4"}};
+  app.scale_knobs = {"NS"};
   app.expected = {{"u", analysis::DepType::WAR}, {"step", analysis::DepType::Index}};
   app.source_template = R"(
 double u[${G}][${G}][5];

@@ -15,6 +15,7 @@ App make_cg() {
   app.default_params = {{"N", "24"}, {"NITER", "4"}, {"CGITMAX", "5"}};
   app.table2_params = {{"N", "40"}, {"NITER", "6"}, {"CGITMAX", "8"}};
   app.table4_params = {{"N", "96"}, {"NITER", "3"}, {"CGITMAX", "4"}};
+  app.scale_knobs = {"NITER"};
   app.expected = {{"x", analysis::DepType::WAR}, {"it", analysis::DepType::Index}};
   app.source_template = R"(
 double A[${N}][${N}];

@@ -15,6 +15,7 @@ App make_comd() {
   app.default_params = {{"NP", "24"}, {"NS", "6"}};
   app.table2_params = {{"NP", "48"}, {"NS", "10"}};
   app.table4_params = {{"NP", "256"}, {"NS", "3"}};
+  app.scale_knobs = {"NS"};
   app.expected = {
       {"sim", analysis::DepType::WAR},
       {"perfTimer", analysis::DepType::WAR},

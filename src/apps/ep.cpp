@@ -15,6 +15,7 @@ App make_ep() {
   app.default_params = {{"NK", "6"}, {"PAIRS", "64"}};
   app.table2_params = {{"NK", "10"}, {"PAIRS", "256"}};
   app.table4_params = {{"NK", "4"}, {"PAIRS", "512"}};
+  app.scale_knobs = {"NK"};
   app.expected = {
       {"sy", analysis::DepType::WAR},
       {"q", analysis::DepType::WAR},

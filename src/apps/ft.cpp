@@ -17,6 +17,7 @@ App make_ft() {
   app.default_params = {{"N", "32"}, {"NITER", "6"}, {"NITER1", "7"}};
   app.table2_params = {{"N", "64"}, {"NITER", "10"}, {"NITER1", "11"}};
   app.table4_params = {{"N", "256"}, {"NITER", "4"}, {"NITER1", "5"}};
+  app.scale_knobs = {"NITER", "NITER1"};  // NITER1 > NITER must hold at every scale
   app.expected = {{"y", analysis::DepType::WAR},
                   {"sum", analysis::DepType::Outcome},
                   {"kt", analysis::DepType::Index}};

@@ -14,6 +14,7 @@ App make_hacc() {
   app.default_params = {{"NP", "32"}, {"G", "16"}, {"NS", "6"}};
   app.table2_params = {{"NP", "64"}, {"G", "32"}, {"NS", "10"}};
   app.table4_params = {{"NP", "512"}, {"G", "64"}, {"NS", "3"}};
+  app.scale_knobs = {"NS"};
   app.expected = {{"particles", analysis::DepType::WAR},
                   {"step", analysis::DepType::Index}};
   app.source_template = R"(

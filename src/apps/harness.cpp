@@ -28,13 +28,15 @@ AnalysisRun analyze_app(const App& app, const Params& params,
   run.module = minic::compile(src);
   run.region = app.mcl();
 
-  trace::MemorySink sink;
+  // The VM emits straight into the interned buffer: no owning TraceRecord
+  // representation of the trace ever exists on this path.
+  trace::BufferSink sink;
   vm::RunOptions ropts;
   ropts.sink = &sink;
   run.trace_run = vm::run_module(run.module, ropts);
   run.trace_records = sink.count();
   run.report = analysis::Session()
-                   .records(std::move(sink.records()))
+                   .buffer(sink.take())
                    .region(run.region)
                    .options(opts)
                    .run();

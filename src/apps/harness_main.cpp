@@ -23,6 +23,11 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: harness <APP|all> [options]\n"
+               "  --analyze            analysis-only profile: trace + sequential vs sharded\n"
+               "                       classification (verdicts must be bit-identical)\n"
+               "  --scale N            multiply each app's iteration knobs by N (with\n"
+               "                       --analyze; default 1 = Table II laptop scale)\n"
+               "  --threads T          worker budget for the sharded run (default 4)\n"
                "  --ckpt-engine        validate C/R through the CheckpointEngine\n"
                "  --fail-at-iter N     inject a fail-stop at iteration N (default 5)\n"
                "  --dir DIR            checkpoint directory (default /tmp)\n"
@@ -83,6 +88,53 @@ void parse_codec_spec(ac::ckpt::EngineConfig& cfg, const std::string& spec) {
   }
 }
 
+/// The `--scale` workload profile: compile each app at its Table II knobs
+/// with the iteration knobs multiplied by `scale`, trace it, and run the
+/// analysis twice — sequential and sharded onto `threads` workers. The two
+/// verdict sets must be bit-identical; timings show the speedup on
+/// bigger-than-seed inputs.
+int run_analyze(const std::vector<ac::apps::App>& apps, int scale, int threads) {
+  std::printf("=== analysis profile: --scale %d (Table II iteration knobs x%d), "
+              "%d worker(s) ===\n\n", scale, scale, threads);
+  ac::TextTable table({"App", "Records", "MLI", "#Crit", "Pre s", "Dep s", "Id s", "Id(x1) s",
+                       "Verdicts"});
+  int failures = 0;
+  for (const auto& app : apps) {
+    try {
+      const ac::apps::Params params = app.scaled_params(app.table2_params, scale);
+      ac::analysis::AnalysisOptions seq;
+      seq.build_ddg = false;
+      const ac::apps::AnalysisRun serial = ac::apps::analyze_app(app, params, seq);
+      ac::analysis::AnalysisOptions par = seq;
+      par.threads = threads;
+      const ac::apps::AnalysisRun sharded = ac::apps::analyze_app(app, params, par);
+      const bool match =
+          serial.report.verdicts.critical == sharded.report.verdicts.critical &&
+          serial.report.verdicts.all_mli == sharded.report.verdicts.all_mli;
+      if (!match) ++failures;
+      table.add_row({app.name, ac::strf("%llu", (unsigned long long)sharded.trace_records),
+                     ac::strf("%zu", sharded.report.pre.mli.size()),
+                     ac::strf("%zu", sharded.report.verdicts.critical.size()),
+                     ac::strf("%.3f", sharded.report.timings.preprocessing),
+                     ac::strf("%.3f", sharded.report.timings.dep_analysis),
+                     ac::strf("%.3f", sharded.report.timings.identify),
+                     ac::strf("%.3f", serial.report.timings.identify),
+                     match ? "MATCH" : "DIVERGED"});
+    } catch (const std::exception& e) {
+      ++failures;
+      std::fprintf(stderr, "harness: %s: %s\n", app.name.c_str(), e.what());
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (failures) {
+    std::printf("%d app(s) FAILED (sharded verdicts diverged or analysis threw)\n", failures);
+    return 1;
+  }
+  std::printf("all %zu app(s): sharded verdicts bit-identical to sequential at scale %d\n",
+              apps.size(), scale);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -90,6 +142,9 @@ int main(int argc, char** argv) {
   const std::string app_arg = argv[1];
 
   bool use_engine = false;
+  bool analyze = false;
+  int scale = 1;
+  int threads = 4;
   int fail_at = 5;
   int interval = 1;
   ac::ckpt::EngineConfig cfg;
@@ -106,6 +161,20 @@ int main(int argc, char** argv) {
     };
     if (arg == "--ckpt-engine") {
       use_engine = true;
+    } else if (arg == "--analyze") {
+      analyze = true;
+    } else if (arg == "--scale") {
+      scale = std::atoi(next());
+      if (scale < 1) {
+        std::fprintf(stderr, "harness: --scale expects an integer >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--threads") {
+      threads = std::atoi(next());
+      if (threads < 1) {
+        std::fprintf(stderr, "harness: --threads expects an integer >= 1\n");
+        return 2;
+      }
     } else if (arg == "--fail-at-iter") {
       fail_at = std::atoi(next());
     } else if (arg == "--dir") {
@@ -162,6 +231,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "harness: %s\n", e.what());
     return usage();
   }
+
+  if (analyze) return run_analyze(apps, scale, threads);
 
   std::printf("=== C/R harness: %s path, fail-stop at iteration %d ===\n\n",
               use_engine ? "CheckpointEngine" : "legacy FtiLite", fail_at);

@@ -15,6 +15,7 @@ App make_himeno() {
   app.default_params = {{"M", "6"}, {"NN", "6"}};
   app.table2_params = {{"M", "10"}, {"NN", "12"}};
   app.table4_params = {{"M", "16"}, {"NN", "4"}};
+  app.scale_knobs = {"NN"};
   app.expected = {{"p", analysis::DepType::WAR}, {"n", analysis::DepType::Index}};
   app.source_template = R"(
 double p[${M}][${M}][${M}];

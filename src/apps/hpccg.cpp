@@ -15,6 +15,7 @@ App make_hpccg() {
   app.default_params = {{"N", "24"}, {"ITERS", "8"}};
   app.table2_params = {{"N", "40"}, {"ITERS", "12"}};
   app.table4_params = {{"N", "96"}, {"ITERS", "4"}};
+  app.scale_knobs = {"ITERS"};
   app.expected = {
       {"t1", analysis::DepType::WAR}, {"t2", analysis::DepType::WAR},
       {"t3", analysis::DepType::WAR}, {"r", analysis::DepType::WAR},

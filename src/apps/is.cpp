@@ -19,6 +19,7 @@ App make_is() {
                        {"HALF", "128"}, {"NITER", "10"}};
   app.table4_params = {{"SIZE", "4096"}, {"NB", "64"}, {"BSIZE", "64"}, {"MAXKEY", "4096"},
                        {"HALF", "2048"}, {"NITER", "4"}};
+  app.scale_knobs = {"NITER"};
   app.expected = {
       {"passed_verification", analysis::DepType::WAR},
       {"key_array", analysis::DepType::RAPO},

@@ -16,6 +16,7 @@ App make_lu() {
   app.default_params = {{"M", "10"}, {"NS", "6"}};
   app.table2_params = {{"M", "16"}, {"NS", "10"}};
   app.table4_params = {{"M", "32"}, {"NS", "4"}};
+  app.scale_knobs = {"NS"};
   app.expected = {
       {"u", analysis::DepType::WAR},
       {"rho_i", analysis::DepType::WAR},

@@ -14,6 +14,7 @@ App make_mg() {
   app.default_params = {{"M", "10"}, {"NITER", "6"}};
   app.table2_params = {{"M", "18"}, {"NITER", "10"}};
   app.table4_params = {{"M", "40"}, {"NITER", "4"}};
+  app.scale_knobs = {"NITER"};
   app.expected = {{"u", analysis::DepType::WAR},
                   {"r", analysis::DepType::WAR},
                   {"it", analysis::DepType::Index}};

@@ -16,6 +16,7 @@ App make_miniamr() {
   app.default_params = {{"NB", "6"}, {"CELLS", "16"}, {"NS", "6"}};
   app.table2_params = {{"NB", "10"}, {"CELLS", "32"}, {"NS", "9"}};
   app.table4_params = {{"NB", "16"}, {"CELLS", "64"}, {"NS", "3"}};
+  app.scale_knobs = {"NS"};
   app.expected = {
       {"timers", analysis::DepType::WAR},
       {"counter_bc", analysis::DepType::WAR},

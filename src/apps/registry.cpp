@@ -18,6 +18,23 @@ std::string App::source(const Params& params) const {
 
 analysis::MclRegion App::mcl() const { return analysis::find_mcl_region(source_template); }
 
+Params App::scaled_params(const Params& base, int scale) const {
+  if (scale <= 1) return base;
+  Params out = base;
+  // Knobs the caller did not pass scale from their defaults.
+  for (const auto& kv : default_params) {
+    bool present = false;
+    for (const auto& given : out) present = present || given.first == kv.first;
+    if (!present) out.push_back(kv);
+  }
+  for (auto& [key, value] : out) {
+    bool scalable = false;
+    for (const auto& knob : scale_knobs) scalable = scalable || knob == key;
+    if (scalable) value = strf("%lld", static_cast<long long>(parse_i64(value)) * scale);
+  }
+  return out;
+}
+
 std::vector<std::string> App::expected_names() const {
   std::vector<std::string> out;
   for (const auto& e : expected) out.push_back(e.name);

@@ -14,6 +14,7 @@ App make_sp() {
   app.default_params = {{"M", "10"}, {"NS", "6"}};
   app.table2_params = {{"M", "16"}, {"NS", "10"}};
   app.table4_params = {{"M", "48"}, {"NS", "4"}};
+  app.scale_knobs = {"NS"};
   app.expected = {{"u", analysis::DepType::WAR}, {"step", analysis::DepType::Index}};
   app.source_template = R"(
 double u[${M}][${M}];

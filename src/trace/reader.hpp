@@ -1,19 +1,45 @@
-// Trace parsing: text -> std::vector<TraceRecord>.
+// Trace parsing.
 //
-// Two paths, mirroring §V-A of the paper:
-//  * read_trace_text / read_trace_file — sequential parse.
-//  * read_trace_file_parallel — the paper's OpenMP optimization: the master
-//    partitions the input into sub-streams *without splitting instruction
-//    blocks*, worker threads parse chunks concurrently, and the chunks are
-//    concatenated in order. Verified equivalent to the serial reader.
+// The fast path parses into the compact interned TraceBuffer (trace/buffer.hpp)
+// straight off the input bytes — a single cursor walk, no intermediate line
+// vector, no per-record heap traffic:
+//  * read_trace_buffer — sequential zero-copy parse.
+//  * read_trace_buffer_parallel — the §V-A decomposition on the same layout:
+//    the input is partitioned at block-header boundaries, workers parse chunks
+//    into private buffers and bulk-merge their symbols into the shared pool,
+//    and the chunks are concatenated in order.
+//
+// The legacy std::vector<TraceRecord> readers below them are kept as the
+// reference implementation: the round-trip property tests pin the TraceBuffer
+// parse to be record-for-record identical to them.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "trace/buffer.hpp"
 #include "trace/record.hpp"
 
 namespace ac::trace {
+
+/// Byte range of the input the parse has fully consumed; FileSource uses it
+/// to madvise() parsed pages out of the resident set, so peak RSS during a
+/// file parse is the compact representation plus one in-flight segment, not
+/// representation + whole file.
+using ParseProgress = std::function<void(std::size_t begin, std::size_t end)>;
+
+/// Zero-copy sequential parse of a whole trace into the interned SoA buffer.
+/// Large inputs are consumed in block-aligned segments: the final array sizes
+/// are extrapolated from the first segment's record/operand density (no
+/// counting pre-pass, no doubling spikes), and `progress` fires per segment.
+TraceBuffer read_trace_buffer(std::string_view text, const ParseProgress& progress = {});
+
+/// Zero-copy parallel parse (OpenMP; falls back to serial when built without
+/// OpenMP or for small inputs). `num_threads` 0 = runtime default. `progress`
+/// fires as chunks complete (out of order).
+TraceBuffer read_trace_buffer_parallel(std::string_view text, int num_threads = 0,
+                                       const ParseProgress& progress = {});
 
 /// Parse a whole trace held in memory.
 std::vector<TraceRecord> read_trace_text(std::string_view text);

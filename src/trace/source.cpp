@@ -13,16 +13,27 @@
 
 namespace ac::trace {
 
+const std::vector<TraceRecord>& TraceSource::records() {
+  if (!materialized_valid_) {
+    materialized_ = buffer().materialize_all();
+    materialized_valid_ = true;
+  }
+  return materialized_;
+}
+
 void TraceSource::for_each(const std::function<void(const TraceRecord&)>& fn) {
-  for (const TraceRecord& rec : records()) fn(rec);
+  // One materialized record at a time — a pass never holds the whole legacy
+  // representation.
+  const TraceBuffer& buf = buffer();
+  for (std::size_t i = 0; i < buf.size(); ++i) fn(buf.materialize(i));
 }
 
 namespace {
 
 /// Read-only mmap of a whole file; falls back to a heap copy when mapping is
 /// unavailable (empty file, non-regular file, exotic filesystem). Either way
-/// view() is valid until destruction; TraceRecords own their strings, so the
-/// mapping can be dropped as soon as parsing finishes.
+/// view() is valid until destruction; the parse interns every name into the
+/// buffer's pool, so the mapping is dropped as soon as parsing finishes.
 class MappedFile {
  public:
   explicit MappedFile(const std::string& path) {
@@ -50,6 +61,19 @@ class MappedFile {
                 : std::string_view(fallback_);
   }
 
+  /// Drop the resident pages of a consumed byte range (best effort; no-op on
+  /// the heap fallback). The parse never revisits consumed input, so peak RSS
+  /// stays at representation + one in-flight segment instead of + whole file.
+  void release(std::size_t begin, std::size_t end) const {
+    if (!map_) return;
+    const std::size_t page = 4096;
+    const std::size_t b = (begin + page - 1) & ~(page - 1);
+    const std::size_t e = end & ~(page - 1);
+    if (e > b) {
+      ::madvise(static_cast<char*>(map_) + b, e - b, MADV_DONTNEED);
+    }
+  }
+
  private:
   void* map_ = nullptr;
   std::size_t size_ = 0;
@@ -61,15 +85,57 @@ class MappedFile {
 FileSource::FileSource(std::string path, int read_threads)
     : path_(std::move(path)), read_threads_(read_threads) {}
 
-const std::vector<TraceRecord>& FileSource::records() {
-  if (loaded_) return records_;
+const TraceBuffer& FileSource::buffer() {
+  if (loaded_) return buffer_;
   WallTimer timer;
   const MappedFile file(path_);
-  records_ = read_threads_ > 1 ? read_trace_text_parallel(file.view(), read_threads_)
-                               : read_trace_text(file.view());
+  const ParseProgress release = [&file](std::size_t begin, std::size_t end) {
+    file.release(begin, end);
+  };
+  buffer_ = read_threads_ > 1 ? read_trace_buffer_parallel(file.view(), read_threads_, release)
+                              : read_trace_buffer(file.view(), release);
   read_seconds_ = timer.seconds();
   loaded_ = true;
-  return records_;
+  return buffer_;
+}
+
+namespace {
+
+void intern_records(const std::vector<TraceRecord>& records, TraceBuffer& buf) {
+  std::size_t operand_total = 0;
+  for (const TraceRecord& rec : records) operand_total += rec.operands.size();
+  buf.reserve(records.size(), operand_total);
+  for (const TraceRecord& rec : records) buf.append(rec);
+}
+
+}  // namespace
+
+MemorySource::MemorySource(std::vector<TraceRecord>&& records) {
+  // Owned legacy records: intern them immediately and drop the per-record
+  // heap representation — callers handing over ownership want the compact
+  // form, not a second copy.
+  intern_records(records, buffer_);
+  loaded_ = true;
+  records.clear();
+}
+
+const TraceBuffer& MemorySource::buffer() {
+  if (!loaded_) {
+    intern_records(*borrowed_, buffer_);
+    loaded_ = true;
+  }
+  return buffer_;
+}
+
+const std::vector<TraceRecord>& MemorySource::records() {
+  // Borrowed records stay zero-copy; otherwise fall back to the shim cache.
+  if (borrowed_) return *borrowed_;
+  return TraceSource::records();
+}
+
+const TraceBuffer& LiveSource::buffer() {
+  throw Error("LiveSource: a live trace stream cannot be materialized; "
+              "use for_each() (the Session runs its two-pass pipeline)");
 }
 
 const std::vector<TraceRecord>& LiveSource::records() {

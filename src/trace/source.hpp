@@ -6,6 +6,12 @@
 // records already materialized in memory, and a live instrumented execution
 // that re-produces the stream on demand (the paper's §IX future work).
 // analysis::Session consumes any of them through this one interface.
+//
+// The native materialized form is the interned SoA TraceBuffer
+// (trace/buffer.hpp): buffer() is what the analysis pipeline replays.
+// records() remains as the legacy-compatibility shim — it materializes
+// owning TraceRecords from the buffer on first use and caches them; new
+// TraceSource implementations only have to produce a buffer.
 #pragma once
 
 #include <functional>
@@ -13,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/buffer.hpp"
 #include "trace/record.hpp"
 #include "trace/writer.hpp"
 
@@ -33,12 +40,18 @@ class TraceSource {
   /// > 1); sources that never parse ignore it.
   virtual void set_read_threads(int) {}
 
-  /// Materialize the full record stream. Cached: repeated calls return the
-  /// same vector. Throws ac::Error for live sources.
-  virtual const std::vector<TraceRecord>& records() = 0;
+  /// Materialize the full stream as the compact interned buffer — the
+  /// analysis pipeline's native input. Cached: repeated calls return the same
+  /// buffer. Throws ac::Error for live sources.
+  virtual const TraceBuffer& buffer() = 0;
+
+  /// Legacy materialization: owning TraceRecords, rebuilt from buffer() and
+  /// cached. Throws ac::Error for live sources.
+  virtual const std::vector<TraceRecord>& records();
 
   /// One ordered pass over the stream, callable repeatedly (passes are
-  /// identical). Batch sources replay records(); live sources re-execute.
+  /// identical). Batch sources replay buffer() record views materialized one
+  /// at a time; live sources re-execute.
   virtual void for_each(const std::function<void(const TraceRecord&)>& fn);
 
   /// Seconds spent producing records in the most recent materialization or
@@ -48,12 +61,18 @@ class TraceSource {
 
   /// Records produced by the most recent materialization or pass.
   virtual std::uint64_t record_count() const = 0;
+
+ protected:
+  /// Shim cache behind records().
+  std::vector<TraceRecord> materialized_;
+  bool materialized_valid_ = false;
 };
 
 /// A trace file in the LLVM-Tracer block format. The file is mmap()ed (with a
-/// buffered-read fallback) and parsed lazily on first access — serially, or
-/// with the §V-A block-aligned parallel decomposition when the read-thread
-/// budget exceeds one.
+/// buffered-read fallback) and parsed zero-copy into the interned buffer on
+/// first access — serially, or with the §V-A block-aligned parallel
+/// decomposition when the read-thread budget exceeds one. The mapping is
+/// dropped as soon as parsing finishes (the pool owns the name bytes).
 class FileSource final : public TraceSource {
  public:
   /// `read_threads` <= 1 parses serially; 0 keeps whatever set_read_threads()
@@ -62,9 +81,9 @@ class FileSource final : public TraceSource {
 
   std::string describe() const override { return "file:" + path_; }
   void set_read_threads(int n) override { read_threads_ = n; }
-  const std::vector<TraceRecord>& records() override;
+  const TraceBuffer& buffer() override;
   double read_seconds() const override { return read_seconds_; }
-  std::uint64_t record_count() const override { return records_.size(); }
+  std::uint64_t record_count() const override { return buffer_.size(); }
 
   const std::string& path() const { return path_; }
 
@@ -73,25 +92,32 @@ class FileSource final : public TraceSource {
   int read_threads_ = 0;
   bool loaded_ = false;
   double read_seconds_ = 0;
-  std::vector<TraceRecord> records_;
+  TraceBuffer buffer_;
 };
 
-/// Records already in memory: either borrowed from the caller (zero-copy; the
-/// caller keeps them alive for the Session's duration) or owned.
+/// A stream already in memory: an interned TraceBuffer (zero-copy when
+/// moved in), or legacy TraceRecords — borrowed from the caller (who keeps
+/// them alive for the Session's duration) or owned — which are interned into
+/// a buffer on first use.
 class MemorySource final : public TraceSource {
  public:
-  /// Borrow: the vector must outlive this source.
+  /// Native: take ownership of an interned buffer.
+  explicit MemorySource(TraceBuffer&& buffer) : buffer_(std::move(buffer)), loaded_(true) {}
+  /// Borrow legacy records: the vector must outlive this source.
   explicit MemorySource(const std::vector<TraceRecord>& records) : borrowed_(&records) {}
-  /// Own.
-  explicit MemorySource(std::vector<TraceRecord>&& records)
-      : owned_(std::move(records)), borrowed_(&owned_) {}
+  /// Own legacy records.
+  explicit MemorySource(std::vector<TraceRecord>&& records);
 
   std::string describe() const override { return "memory"; }
-  const std::vector<TraceRecord>& records() override { return *borrowed_; }
-  std::uint64_t record_count() const override { return borrowed_->size(); }
+  const TraceBuffer& buffer() override;
+  const std::vector<TraceRecord>& records() override;
+  std::uint64_t record_count() const override {
+    return borrowed_ ? borrowed_->size() : buffer_.size();
+  }
 
  private:
-  std::vector<TraceRecord> owned_;
+  TraceBuffer buffer_;
+  bool loaded_ = false;
   const std::vector<TraceRecord>* borrowed_ = nullptr;
 };
 
@@ -106,6 +132,8 @@ class LiveSource final : public TraceSource {
 
   std::string describe() const override { return "live"; }
   bool live() const override { return true; }
+  /// Throws ac::Error: a live stream is never materialized.
+  const TraceBuffer& buffer() override;
   /// Throws ac::Error: a live stream is never materialized.
   const std::vector<TraceRecord>& records() override;
   void for_each(const std::function<void(const TraceRecord&)>& fn) override;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/buffer.hpp"
 #include "trace/record.hpp"
 
 namespace ac::trace {
@@ -44,6 +45,23 @@ class MemorySink final : public TraceSink {
 
  private:
   std::vector<TraceRecord> records_;
+};
+
+/// Interns records into a compact TraceBuffer as they are emitted — the
+/// allocation-free input for the analysis (the VM's strings are packed and
+/// dropped record by record; nothing per-record survives on the heap).
+class BufferSink final : public TraceSink {
+ public:
+  void append(const TraceRecord& rec) override { buffer_.append(rec); }
+  std::uint64_t count() const override { return buffer_.size(); }
+
+  TraceBuffer& buffer() { return buffer_; }
+  const TraceBuffer& buffer() const { return buffer_; }
+  /// Move the finished buffer out (the sink is empty afterwards).
+  TraceBuffer take() { return std::move(buffer_); }
+
+ private:
+  TraceBuffer buffer_;
 };
 
 /// Forwards each record to a callback — how an instrumented execution feeds

@@ -208,6 +208,89 @@ int main() {
   EXPECT_TRUE(hot_found);
 }
 
+// --- event-count-balanced shard assignment (LPT) -----------------------------
+
+TEST(LptAssignment, IsolatesTheHotVariable) {
+  // One variable carries nearly every event: LPT must give it a shard of its
+  // own and spread the rest, instead of `var % threads` landing everything in
+  // one shard.
+  const std::vector<std::pair<int, std::uint64_t>> counts = {
+      {0, 100000}, {1, 10}, {2, 12}, {3, 8}};
+  const std::vector<int> shard = lpt_shard_assignment(counts, 2);
+  ASSERT_EQ(shard.size(), counts.size());
+  const int hot = shard[0];
+  EXPECT_NE(shard[1], hot);
+  EXPECT_NE(shard[2], hot);
+  EXPECT_NE(shard[3], hot);
+}
+
+TEST(LptAssignment, BalancesEqualLoads) {
+  std::vector<std::pair<int, std::uint64_t>> counts;
+  for (int v = 0; v < 8; ++v) counts.emplace_back(v, 100);
+  const std::vector<int> shard = lpt_shard_assignment(counts, 4);
+  std::vector<int> per_shard(4, 0);
+  for (const int s : shard) {
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 4);
+    ++per_shard[static_cast<std::size_t>(s)];
+  }
+  for (const int n : per_shard) EXPECT_EQ(n, 2);  // perfectly even
+}
+
+TEST(LptAssignment, DegenerateCornersAndDeterminism) {
+  // threads > vars: every variable gets its own shard; empty shards are fine.
+  const std::vector<std::pair<int, std::uint64_t>> few = {{5, 7}, {9, 3}};
+  const std::vector<int> wide = lpt_shard_assignment(few, 16);
+  EXPECT_NE(wide[0], wide[1]);
+
+  // Zero variables / single shard / zero-count ties are all well-defined.
+  EXPECT_TRUE(lpt_shard_assignment({}, 4).empty());
+  EXPECT_EQ(lpt_shard_assignment(few, 1), (std::vector<int>{0, 0}));
+  const std::vector<std::pair<int, std::uint64_t>> ties = {{3, 0}, {1, 0}, {2, 0}};
+  const std::vector<int> a = lpt_shard_assignment(ties, 2);
+  const std::vector<int> b = lpt_shard_assignment(ties, 2);
+  EXPECT_EQ(a, b);  // deterministic under ties (ordered by var id)
+}
+
+TEST(LptAssignment, SkewedHotArrayStillBitIdentical) {
+  // The skewed single-hot-array program under the *balanced* assignment: the
+  // hot shard now isolates `hot`, and the verdicts must remain bit-identical
+  // to sequential for every worker count (including threads > vars).
+  const std::string src = R"(
+double hot[96];
+int main() {
+  int it;
+  int i;
+  double checksum = 0.0;
+  double aux = 0.0;
+  for (i = 0; i < 96; i = i + 1) { hot[i] = 1.0; }
+  //@mcl-begin
+  for (it = 0; it < 5; it = it + 1) {
+    for (i = 1; i < 96; i = i + 1) {
+      hot[i] = hot[i] + hot[i - 1] * 0.5;
+    }
+    aux = aux + hot[95];
+    checksum = checksum + aux;
+  }
+  //@mcl-end
+  print_float(checksum);
+  return 0;
+}
+)";
+  auto run = test::run_pipeline(src);
+  const MclRegion region = find_mcl_region(src);
+  const Report serial = Session().records(run.records).region(region).run();
+  for (const int threads : {2, 3, 5, 64}) {
+    const Report sharded =
+        Session().records(run.records).region(region).options(with_threads(threads)).run();
+    EXPECT_EQ(serial.verdicts.critical, sharded.verdicts.critical) << threads;
+    EXPECT_EQ(serial.verdicts.all_mli, sharded.verdicts.all_mli) << threads;
+  }
+  bool hot_found = false;
+  for (const auto& cv : serial.verdicts.critical) hot_found |= cv.name == "hot";
+  EXPECT_TRUE(hot_found);
+}
+
 // --- trace sources ----------------------------------------------------------
 
 TEST(SessionSources, FileSerialAndParallelMatchMemory) {

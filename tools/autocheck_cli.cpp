@@ -129,7 +129,9 @@ int main(int argc, char** argv) {
     source->set_read_threads(opts.effective_read_threads());
 
     if (suggest) {
-      const auto candidates = ac::analysis::suggest_loops(source->records());
+      // The interned buffer feeds the suggestion scan directly — no owning
+      // TraceRecord materialization for --suggest either.
+      const auto candidates = ac::analysis::suggest_loops(source->buffer());
       std::printf("%s", ac::analysis::render_suggestions(candidates).c_str());
       return 0;
     }
