@@ -76,14 +76,23 @@ struct AppBench {
   double buffer_analyze_s = 0;  // buffer-path Session
   double classify_s = 0;
   double classify_sharded_s = 0;
+  double classify_pipelined_s = 0;
   std::uint64_t legacy_bytes = 0;
   std::uint64_t buffer_bytes = 0;
+  std::uint64_t mctb_bytes = 0;   // MCTB container size (rle+lz sections)
+  double mctb_write_s = 0;        // TraceBuffer -> container serialization
+  double mctb_parse_s = 0;        // container -> TraceBuffer, serial
+  double mctb_parallel_parse_s = 0;  // same on 4 workers
   long rss_legacy_kb = 0;  // only probed on the largest app
   long rss_buffer_kb = 0;
 
   double speedup() const {
     const double den = buffer_parse_s + buffer_analyze_s;
     return den > 0 ? (legacy_parse_s + legacy_analyze_s) / den : 0;
+  }
+  /// Binary-vs-text parse speedup (both produce the same TraceBuffer).
+  double mctb_parse_speedup() const {
+    return mctb_parse_s > 0 ? buffer_parse_s / mctb_parse_s : 0;
   }
 };
 
@@ -153,10 +162,23 @@ AppBench bench_app(const apps::App& app, const apps::Params& params, bool probe_
     return best;
   };
 
-  // Parse: legacy owning records vs zero-copy interned buffer.
-  std::vector<trace::TraceRecord> legacy_recs;
-  out.legacy_parse_s = best_of([&] { legacy_recs = trace::read_trace_text(text); });
-  out.legacy_bytes = legacy_rep_bytes(legacy_recs);
+  // Parse: legacy owning records vs zero-copy interned buffer. The legacy
+  // representation (~1 GiB on CoMD) is measured, analyzed and released before
+  // the interned/MCTB measurements run, so those aren't timed under the
+  // legacy path's memory pressure.
+  analysis::AnalysisOptions opts;
+  opts.build_ddg = false;
+  analysis::Report legacy_report;
+  {
+    std::vector<trace::TraceRecord> legacy_recs;
+    out.legacy_parse_s = best_of([&] { legacy_recs = trace::read_trace_text(text); });
+    out.legacy_bytes = legacy_rep_bytes(legacy_recs);
+    // End-to-end analysis through the Session on the records path (re-interns
+    // per repetition, exactly what a legacy caller pays).
+    out.legacy_analyze_s = best_of([&] {
+      legacy_report = analysis::Session().records(legacy_recs).region(region).options(opts).run();
+    });
+  }
 
   trace::TraceBuffer buf;
   out.buffer_parse_s = best_of([&] { buf = trace::read_trace_buffer(text); });
@@ -167,15 +189,18 @@ AppBench bench_app(const apps::App& app, const apps::Params& params, bool probe_
   trace::TraceBuffer par_buf;
   out.parallel_parse_s = best_of([&] { par_buf = trace::read_trace_buffer_parallel(text, 4); });
 
-  // End-to-end analysis through the Session on both representations (the
-  // records path re-interns per repetition, exactly what a legacy caller pays).
-  analysis::AnalysisOptions opts;
-  opts.build_ddg = false;
-  analysis::Report legacy_report;
-  out.legacy_analyze_s = best_of([&] {
-    legacy_report = analysis::Session().records(legacy_recs).region(region).options(opts).run();
-  });
-  legacy_recs = {};  // release before the buffer run
+  // MCTB container: serialize once per rep (timed), then decode serial and on
+  // 4 workers. The decoded buffer must replay to the exact text bytes.
+  std::string mctb;
+  out.mctb_write_s = best_of([&] { mctb = trace::mctb_to_bytes(buf); });
+  out.mctb_bytes = mctb.size();
+  trace::TraceBuffer mctb_buf;
+  out.mctb_parse_s = best_of([&] { mctb_buf = trace::read_mctb(mctb, 1); });
+  out.mctb_parallel_parse_s = best_of([&] { mctb_buf = trace::read_mctb(mctb, 4); });
+  if (mctb_buf.size() != buf.size() || mctb_buf.operands().size() != buf.operands().size()) {
+    std::fprintf(stderr, "bench_micro: MCTB round-trip SIZE MISMATCH on %s\n", app.name.c_str());
+    std::exit(1);
+  }
 
   // One Session per repetition over the same borrowed buffer source so the
   // parse isn't re-paid inside the analyze measurement.
@@ -191,14 +216,23 @@ AppBench bench_app(const apps::App& app, const apps::Params& params, bool probe_
   analysis::DepOptions dopts;
   dopts.build_ddg = false;
   auto dep = analysis::dep_analysis(buf, pre, region, dopts);
-  analysis::ClassifyResult seq_verdicts, shard_verdicts;
+  analysis::ClassifyResult seq_verdicts, shard_verdicts, pipe_verdicts;
   out.classify_s = best_of([&] { seq_verdicts = analysis::classify(dep, pre); });
   out.classify_sharded_s =
       best_of([&] { shard_verdicts = analysis::classify_sharded(dep, pre, 4); });
+  out.classify_pipelined_s =
+      best_of([&] { pipe_verdicts = analysis::classify_pipelined(dep, pre, 4); });
+
+  // The MCTB-decoded buffer must produce bit-identical verdicts too.
+  analysis::Report mctb_report =
+      analysis::Session().buffer(std::move(mctb_buf)).region(region).options(opts).run();
 
   if (!verdicts_equal(legacy_report, buffer_report) ||
+      !verdicts_equal(buffer_report, mctb_report) ||
       seq_verdicts.critical != shard_verdicts.critical ||
-      seq_verdicts.all_mli != shard_verdicts.all_mli) {
+      seq_verdicts.all_mli != shard_verdicts.all_mli ||
+      seq_verdicts.critical != pipe_verdicts.critical ||
+      seq_verdicts.all_mli != pipe_verdicts.all_mli) {
     std::fprintf(stderr, "bench_micro: VERDICT MISMATCH on %s\n", app.name.c_str());
     std::exit(1);
   }
@@ -217,26 +251,51 @@ AppBench bench_app(const apps::App& app, const apps::Params& params, bool probe_
   return out;
 }
 
-std::string to_json(const std::vector<AppBench>& results, int scale) {
-  std::string out = "{\n  \"bench\": \"analysis\",\n";
-  out += strf("  \"scale\": %d,\n  \"apps\": [\n", scale);
+std::string apps_json(const std::vector<AppBench>& results, const char* indent) {
+  std::string out;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const AppBench& r = results[i];
+    out += indent;
     out += strf(
-        "    {\"app\": \"%s\", \"text_bytes\": %llu, \"records\": %llu, \"operands\": %llu,\n"
-        "     \"legacy_parse_ns\": %.0f, \"buffer_parse_ns\": %.0f, \"parallel_parse_ns\": %.0f,\n"
-        "     \"legacy_analyze_ns\": %.0f, \"buffer_analyze_ns\": %.0f,\n"
-        "     \"classify_ns\": %.0f, \"classify_sharded_ns\": %.0f,\n"
-        "     \"legacy_rep_bytes\": %llu, \"buffer_rep_bytes\": %llu,\n"
-        "     \"peak_rss_legacy_kb\": %ld, \"peak_rss_buffer_kb\": %ld,\n"
-        "     \"wall_ns\": %.0f, \"speedup_parse_classify\": %.3f}%s\n",
+        "{\"app\": \"%s\", \"text_bytes\": %llu, \"records\": %llu, \"operands\": %llu,\n"
+        "%s \"legacy_parse_ns\": %.0f, \"buffer_parse_ns\": %.0f, \"parallel_parse_ns\": %.0f,\n"
+        "%s \"mctb_bytes\": %llu, \"mctb_write_ns\": %.0f, \"mctb_parse_ns\": %.0f,\n"
+        "%s \"mctb_parallel_parse_ns\": %.0f, \"speedup_mctb_parse\": %.3f,\n"
+        "%s \"legacy_analyze_ns\": %.0f, \"buffer_analyze_ns\": %.0f,\n"
+        "%s \"classify_ns\": %.0f, \"classify_sharded_ns\": %.0f, \"classify_pipelined_ns\": %.0f,\n"
+        "%s \"legacy_rep_bytes\": %llu, \"buffer_rep_bytes\": %llu,\n"
+        "%s \"peak_rss_legacy_kb\": %ld, \"peak_rss_buffer_kb\": %ld,\n"
+        "%s \"wall_ns\": %.0f, \"speedup_parse_classify\": %.3f}%s\n",
         r.app.c_str(), (unsigned long long)r.text_bytes, (unsigned long long)r.records,
-        (unsigned long long)r.operands, r.legacy_parse_s * 1e9, r.buffer_parse_s * 1e9,
-        r.parallel_parse_s * 1e9, r.legacy_analyze_s * 1e9, r.buffer_analyze_s * 1e9,
-        r.classify_s * 1e9, r.classify_sharded_s * 1e9, (unsigned long long)r.legacy_bytes,
-        (unsigned long long)r.buffer_bytes, r.rss_legacy_kb, r.rss_buffer_kb,
+        (unsigned long long)r.operands, indent, r.legacy_parse_s * 1e9, r.buffer_parse_s * 1e9,
+        r.parallel_parse_s * 1e9, indent, (unsigned long long)r.mctb_bytes,
+        r.mctb_write_s * 1e9, r.mctb_parse_s * 1e9, indent, r.mctb_parallel_parse_s * 1e9,
+        r.mctb_parse_speedup(), indent, r.legacy_analyze_s * 1e9, r.buffer_analyze_s * 1e9,
+        indent, r.classify_s * 1e9, r.classify_sharded_s * 1e9, r.classify_pipelined_s * 1e9,
+        indent, (unsigned long long)r.legacy_bytes, (unsigned long long)r.buffer_bytes, indent,
+        r.rss_legacy_kb, r.rss_buffer_kb, indent,
         (r.buffer_parse_s + r.buffer_analyze_s) * 1e9, r.speedup(),
         i + 1 < results.size() ? "," : "");
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<std::pair<int, std::vector<AppBench>>>& groups) {
+  std::string out = "{\n  \"bench\": \"analysis\",\n";
+  if (groups.size() == 1) {
+    // Single-scale mode keeps the historical shape (the --check baseline and
+    // external consumers parse it).
+    out += strf("  \"scale\": %d,\n  \"apps\": [\n", groups[0].first);
+    out += apps_json(groups[0].second, "    ");
+    out += "  ]\n}\n";
+    return out;
+  }
+  // --scale sweep: one entry per scale, tracking the linearity curve.
+  out += "  \"scales\": [\n";
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    out += strf("    {\"scale\": %d, \"apps\": [\n", groups[g].first);
+    out += apps_json(groups[g].second, "      ");
+    out += strf("    ]}%s\n", g + 1 < groups.size() ? "," : "");
   }
   out += "  ]\n}\n";
   return out;
@@ -258,6 +317,7 @@ double baseline_speedup(const std::string& json, const std::string& app) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool sweep = false;
   int scale = 1;
   std::string json_path, check_path, probe_mode, probe_trace;
   for (int i = 1; i < argc; ++i) {
@@ -274,6 +334,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--scale") {
       scale = std::atoi(next());
       if (scale < 1) scale = 1;
+    } else if (arg == "--sweep") {
+      sweep = true;
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--check") {
@@ -284,62 +346,88 @@ int main(int argc, char** argv) {
       probe_trace = next();
     } else {
       std::fprintf(stderr,
-                   "usage: bench_micro [--smoke] [--scale N] [--json PATH] [--check BASELINE]\n");
+                   "usage: bench_micro [--smoke] [--scale N | --sweep] [--json PATH] "
+                   "[--check BASELINE]\n");
       return 2;
     }
   }
   if (!probe_mode.empty()) return rss_probe_main(probe_mode, probe_trace);
+  if (sweep && !check_path.empty()) {
+    // The baseline is measured at a single scale; silently gating only one
+    // sweep group would imply coverage the check doesn't have.
+    std::fprintf(stderr, "bench_micro: --check cannot be combined with --sweep\n");
+    return 2;
+  }
 
-  std::printf("=== bench_micro: legacy vs interned trace representation%s ===\n\n",
+  std::printf("=== bench_micro: legacy vs interned vs MCTB trace representation%s ===\n\n",
               smoke ? " (smoke subset)" : "");
 
-  std::vector<std::pair<apps::App, apps::Params>> suite;
-  for (const auto& app : apps::registry()) {
-    if (smoke && app.name != "CG" && app.name != "IS" && app.name != "HACC") continue;
-    const apps::Params base = smoke ? app.default_params : app.table2_params;
-    suite.emplace_back(app, app.scaled_params(base, scale));
-  }
+  // --sweep: the linearity-curve profile, one result group per scale.
+  std::vector<int> scales = sweep ? std::vector<int>{1, 2, 4} : std::vector<int>{scale};
+  std::vector<std::pair<int, std::vector<AppBench>>> groups;
+  for (const int sc : scales) {
+    std::vector<std::pair<apps::App, apps::Params>> suite;
+    for (const auto& app : apps::registry()) {
+      if (smoke && app.name != "CG" && app.name != "IS" && app.name != "HACC") continue;
+      const apps::Params base = smoke ? app.default_params : app.table2_params;
+      suite.emplace_back(app, app.scaled_params(base, sc));
+    }
 
-  // Probe peak RSS on the app with the largest trace (measured text size is
-  // not known up front; use the last run's sizes by benchmarking in two
-  // passes: everything first, then re-run the largest with probes).
-  std::vector<AppBench> results;
-  for (const auto& [app, params] : suite) {
-    results.push_back(bench_app(app, params, /*probe_largest=*/false));
-  }
-  std::size_t largest = 0;
-  for (std::size_t i = 1; i < results.size(); ++i) {
-    if (results[i].text_bytes > results[largest].text_bytes) largest = i;
-  }
-  results[largest] = bench_app(suite[largest].first, suite[largest].second,
-                               /*probe_largest=*/true);
+    // Probe peak RSS on the app with the largest trace (measured text size is
+    // not known up front; use the last run's sizes by benchmarking in two
+    // passes: everything first, then re-run the largest with probes). The
+    // subprocess probes are skipped in sweep mode — the curve tracks wall
+    // time, and re-running the largest app per scale would double the cost.
+    std::vector<AppBench> results;
+    for (const auto& [app, params] : suite) {
+      results.push_back(bench_app(app, params, /*probe_largest=*/false));
+    }
+    std::size_t largest = 0;
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      if (results[i].text_bytes > results[largest].text_bytes) largest = i;
+    }
+    if (!sweep) {
+      results[largest] = bench_app(suite[largest].first, suite[largest].second,
+                                   /*probe_largest=*/true);
+    }
 
-  TextTable table({"App", "Trace", "Records", "Parse(legacy)", "Parse(buf)", "Analyze(legacy)",
-                   "Analyze(buf)", "Speedup", "Rep(legacy)", "Rep(buf)", "Rep ratio"});
-  for (const auto& r : results) {
-    table.add_row({r.app, human_bytes(r.text_bytes), strf("%llu", (unsigned long long)r.records),
-                   strf("%.3fs", r.legacy_parse_s), strf("%.3fs", r.buffer_parse_s),
-                   strf("%.3fs", r.legacy_analyze_s), strf("%.3fs", r.buffer_analyze_s),
-                   strf("%.2fx", r.speedup()), human_bytes(r.legacy_bytes),
-                   human_bytes(r.buffer_bytes),
-                   strf("%.1fx", r.buffer_bytes
-                                     ? (double)r.legacy_bytes / (double)r.buffer_bytes
-                                     : 0.0)});
-  }
-  std::printf("%s\n", table.render().c_str());
+    if (sweep) std::printf("--- scale %d ---\n", sc);
+    TextTable table({"App", "Trace", "MCTB", "Records", "Parse(legacy)", "Parse(buf)",
+                     "Parse(mctb)", "MCTB speedup", "Analyze(buf)", "Speedup", "Rep ratio"});
+    for (const auto& r : results) {
+      table.add_row({r.app, human_bytes(r.text_bytes), human_bytes(r.mctb_bytes),
+                     strf("%llu", (unsigned long long)r.records),
+                     strf("%.3fs", r.legacy_parse_s), strf("%.3fs", r.buffer_parse_s),
+                     strf("%.3fs", r.mctb_parse_s), strf("%.1fx", r.mctb_parse_speedup()),
+                     strf("%.3fs", r.buffer_analyze_s), strf("%.2fx", r.speedup()),
+                     strf("%.1fx", r.buffer_bytes
+                                       ? (double)r.legacy_bytes / (double)r.buffer_bytes
+                                       : 0.0)});
+    }
+    std::printf("%s\n", table.render().c_str());
 
-  const AppBench& big = results[largest];
-  std::printf("Largest trace: %s (%s). Peak RSS parsing it in a fresh process:\n"
-              "  legacy representation %s, interned buffer %s (%.1fx lower)\n",
-              big.app.c_str(), human_bytes(big.text_bytes).c_str(),
-              human_bytes((std::uint64_t)big.rss_legacy_kb * 1024).c_str(),
-              human_bytes((std::uint64_t)big.rss_buffer_kb * 1024).c_str(),
-              big.rss_buffer_kb ? (double)big.rss_legacy_kb / (double)big.rss_buffer_kb : 0.0);
-  std::printf("Classify sequential %.4fs vs LPT-sharded(4) %.4fs on %s\n\n", big.classify_s,
-              big.classify_sharded_s, big.app.c_str());
+    const AppBench& big = results[largest];
+    if (!sweep) {
+      std::printf("Largest trace: %s (%s text, %s MCTB, %.1fx smaller on disk). "
+                  "Peak RSS parsing it in a fresh process:\n"
+                  "  legacy representation %s, interned buffer %s (%.1fx lower)\n",
+                  big.app.c_str(), human_bytes(big.text_bytes).c_str(),
+                  human_bytes(big.mctb_bytes).c_str(),
+                  big.mctb_bytes ? (double)big.text_bytes / (double)big.mctb_bytes : 0.0,
+                  human_bytes((std::uint64_t)big.rss_legacy_kb * 1024).c_str(),
+                  human_bytes((std::uint64_t)big.rss_buffer_kb * 1024).c_str(),
+                  big.rss_buffer_kb ? (double)big.rss_legacy_kb / (double)big.rss_buffer_kb
+                                    : 0.0);
+    }
+    std::printf("Classify sequential %.4fs vs LPT-sharded(4) %.4fs vs pipelined(4) %.4fs "
+                "on %s\n\n", big.classify_s, big.classify_sharded_s, big.classify_pipelined_s,
+                big.app.c_str());
+    groups.emplace_back(sc, std::move(results));
+  }
+  const std::vector<AppBench>& results = groups[0].second;
 
   if (!json_path.empty()) {
-    const std::string json = to_json(results, scale);
+    const std::string json = to_json(groups);
     std::FILE* f = std::fopen(json_path.c_str(), "wb");
     if (!f) {
       std::fprintf(stderr, "bench_micro: cannot write %s\n", json_path.c_str());
@@ -375,11 +463,22 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bench_micro: baseline has no overlapping apps\n");
       return 1;
     }
+    // The binary-format gate: the whole point of MCTB is that parse stops
+    // being text decoding, so its decode must beat the zero-copy text parse
+    // by >=2x on every measured app (another same-process ratio).
+    for (const auto& r : results) {
+      const bool bad = r.mctb_parse_speedup() < 2.0;
+      std::printf("check %-8s mctb parse %.2fx text parse -> %s\n", r.app.c_str(),
+                  r.mctb_parse_speedup(), bad ? "TOO SLOW (< 2x)" : "ok");
+      regressed = regressed || bad;
+    }
     if (regressed) {
-      std::printf("FAIL: parse+classify regressed >25%% against %s\n", check_path.c_str());
+      std::printf("FAIL: parse+classify regressed >25%% against %s, or MCTB parse fell "
+                  "under 2x text parse\n", check_path.c_str());
       return 1;
     }
-    std::printf("parse+classify speedup within 25%% of baseline (%d app(s) checked)\n", checked);
+    std::printf("parse+classify speedup within 25%% of baseline and MCTB parse >= 2x text "
+                "parse (%d app(s) checked)\n", checked);
   }
   return 0;
 }

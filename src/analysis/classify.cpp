@@ -1,9 +1,13 @@
 #include "analysis/classify.hpp"
 
+#include "support/error.hpp"
 #include "support/strings.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <thread>
 #include <tuple>
 #include <set>
@@ -34,26 +38,33 @@ struct VarVerdict {
   std::string outcome_reason;
 };
 
-/// The dataflow scan over a subset of the event stream. Every piece of state
-/// is keyed by variable, so running it over any variable-complete subset (all
-/// events of each contained variable, in execution order) yields exactly the
-/// verdicts the full-stream scan assigns those variables — the invariant the
-/// sharded path relies on.
-std::unordered_map<int, VarVerdict> scan_events(const AccessEvent* events, std::size_t count) {
-  // Pass 1: per variable, which elements each iteration writes (Part B only),
-  // so the RAPO test can ask "is this element refreshed by the current
-  // iteration at all?" without caring about intra-iteration ordering.
+/// Pass-1 state: per variable, which elements each iteration writes (Part B
+/// only), so the RAPO test can ask "is this element refreshed by the current
+/// iteration at all?" without caring about intra-iteration ordering. Built
+/// incrementally so the pipelined path can fold events in as extraction
+/// delivers them.
+struct WriteSets {
   std::unordered_map<int, std::map<int, std::set<std::int64_t>>> written_by_iter;
   std::unordered_set<int> written_in_b;
-  for (std::size_t i = 0; i < count; ++i) {
-    const AccessEvent& ev = events[i];
+
+  void add(const AccessEvent& ev) {
     if (ev.part == Part::B && ev.is_write) {
       written_by_iter[ev.var][ev.iteration].insert(ev.elem);
       written_in_b.insert(ev.var);
     }
   }
+};
 
-  // Pass 2: stale-consumption scan.
+/// Pass 2: the stale-consumption scan over a variable-complete subset of the
+/// event stream, with `ws` built from exactly the same events. Every piece of
+/// state is keyed by variable, so running it over any variable-complete
+/// subset (all events of each contained variable, in execution order) yields
+/// exactly the verdicts the full-stream scan assigns those variables — the
+/// invariant both parallel paths rely on.
+std::unordered_map<int, VarVerdict> scan_pass2(const AccessEvent* events, std::size_t count,
+                                               WriteSets& ws) {
+  auto& written_by_iter = ws.written_by_iter;
+  auto& written_in_b = ws.written_in_b;
   std::unordered_map<int, VarVerdict> verdicts;
   std::unordered_map<int, std::unordered_map<std::int64_t, int>> last_write_iter;  // Part B writes
   std::unordered_map<int, int> cur_iter_of_var;
@@ -112,6 +123,33 @@ std::unordered_map<int, VarVerdict> scan_events(const AccessEvent* events, std::
   }
   return verdicts;
 }
+
+/// The two-pass dataflow scan over a (sub)stream held in one contiguous span.
+std::unordered_map<int, VarVerdict> scan_events(const AccessEvent* events, std::size_t count) {
+  WriteSets ws;
+  for (std::size_t i = 0; i < count; ++i) ws.add(events[i]);
+  return scan_pass2(events, count, ws);
+}
+
+/// Incremental per-shard scanner for the pipelined path: extraction delivers
+/// event slices in execution order; pass-1 state folds in immediately
+/// (overlapping with extraction still running), pass 2 runs at finish() over
+/// the accumulated stream — the same two passes scan_events runs, so verdicts
+/// are identical by construction.
+class ShardScanner {
+ public:
+  void add(const AccessEvent* events, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) ws_.add(events[i]);
+    events_.insert(events_.end(), events, events + count);
+  }
+  std::unordered_map<int, VarVerdict> finish() {
+    return scan_pass2(events_.data(), events_.size(), ws_);
+  }
+
+ private:
+  WriteSets ws_;
+  std::vector<AccessEvent> events_;
+};
 
 /// Deterministic assembly of the final verdict list from the per-variable
 /// scan results: MLI discovery order with Index-only variables appended.
@@ -201,36 +239,46 @@ std::vector<int> lpt_shard_assignment(const std::vector<std::pair<int, std::uint
   return assignment;
 }
 
-ClassifyResult classify_sharded(const DepResult& dep, const PreprocessResult& pre, int threads) {
-  // More shards than MLI variables only produces empty shards, and an
-  // unbounded user-supplied count must not translate into thousands of
-  // threads — clamp to something a machine can always deliver.
-  threads = std::min({threads, 256, std::max<int>(1, static_cast<int>(pre.mli.size()))});
-  if (threads <= 1 || dep.events.empty()) return classify(dep, pre);
+namespace {
 
-  // Per-variable event totals, then the LPT assignment: the skewed apps put
-  // nearly every event on one hot array, so `var % threads` used to hand one
-  // worker the whole stream — balancing by event count is the ROADMAP's
-  // rebalancing follow-up (a speed change only; verdicts are pinned
-  // bit-identical by tests/test_session.cpp).
-  // Var ids are dense small ints, so the counting and the shard-of-var table
-  // are flat arrays — workers index, they don't hash.
+/// Flat var -> shard table from the LPT assignment over per-variable event
+/// totals (the skewed apps put nearly every event on one hot array, so
+/// `var % threads` used to hand one worker the whole stream). Var ids are
+/// dense small ints, so the counting and the table are flat arrays — workers
+/// index, they don't hash. -1 for vars with no events.
+std::vector<int> shard_of_vars(const std::vector<AccessEvent>& events, int nshards) {
   std::size_t max_var = 0;
-  for (const AccessEvent& ev : dep.events) {
+  for (const AccessEvent& ev : events) {
     max_var = std::max(max_var, static_cast<std::size_t>(ev.var));
   }
   std::vector<std::uint64_t> totals(max_var + 1, 0);
-  for (const AccessEvent& ev : dep.events) ++totals[static_cast<std::size_t>(ev.var)];
+  for (const AccessEvent& ev : events) ++totals[static_cast<std::size_t>(ev.var)];
   std::vector<std::pair<int, std::uint64_t>> counts;
   for (std::size_t var = 0; var <= max_var; ++var) {
     if (totals[var]) counts.emplace_back(static_cast<int>(var), totals[var]);
   }
-  const std::vector<int> assignment = lpt_shard_assignment(counts, threads);
+  const std::vector<int> assignment = lpt_shard_assignment(counts, nshards);
   std::vector<int> shard_of(max_var + 1, -1);
   for (std::size_t i = 0; i < counts.size(); ++i) {
     shard_of[static_cast<std::size_t>(counts[i].first)] = assignment[i];
   }
+  return shard_of;
+}
 
+/// The shared thread-count clamp: more shards than MLI variables only
+/// produces empty shards, and an unbounded user-supplied count must not
+/// translate into thousands of threads.
+int clamp_threads(int threads, const PreprocessResult& pre) {
+  return std::min({threads, 256, std::max<int>(1, static_cast<int>(pre.mli.size()))});
+}
+
+}  // namespace
+
+ClassifyResult classify_sharded(const DepResult& dep, const PreprocessResult& pre, int threads) {
+  threads = clamp_threads(threads, pre);
+  if (threads <= 1 || dep.events.empty()) return classify(dep, pre);
+
+  const std::vector<int> shard_of = shard_of_vars(dep.events, threads);
   const std::size_t nshards = static_cast<std::size_t>(threads);
   std::vector<std::vector<AccessEvent>> shards(nshards);
   std::vector<std::unordered_map<int, VarVerdict>> partial(nshards);
@@ -267,6 +315,134 @@ ClassifyResult classify_sharded(const DepResult& dep, const PreprocessResult& pr
 
   // Shards own disjoint variable sets, so the merge is a plain union; the
   // deterministic ordering comes from assemble(), not from merge order.
+  std::unordered_map<int, VarVerdict> verdicts;
+  for (auto& p : partial) {
+    for (auto& [var, v] : p) verdicts.emplace(var, std::move(v));
+  }
+  return assemble(verdicts, dep, pre);
+}
+
+ClassifyResult classify_pipelined(const DepResult& dep, const PreprocessResult& pre,
+                                  int threads) {
+  threads = clamp_threads(threads, pre);
+  if (threads <= 1 || dep.events.empty()) return classify(dep, pre);
+
+  // Split the caller's budget between the two stages (extractors + scanners
+  // == threads, never 2x it): extraction is one cheap routing sweep, the
+  // scans are the heavy stage, so a quarter of the budget routes and the
+  // rest scans.
+  const std::size_t nextract = std::max<std::size_t>(1, static_cast<std::size_t>(threads) / 4);
+  const std::size_t nshards =
+      std::max<std::size_t>(1, static_cast<std::size_t>(threads) - nextract);
+
+  const std::vector<int> shard_of = shard_of_vars(dep.events, static_cast<int>(nshards));
+  const std::size_t nevents = dep.events.size();
+  const std::size_t chunk = std::max<std::size_t>(std::size_t{4096},
+                                                  nevents / (nshards * 8) + 1);
+  const std::size_t nchunks = (nevents + chunk - 1) / chunk;
+
+  // Per-shard mailbox: extraction workers deliver the shard's slice of each
+  // event chunk (possibly empty) as the chunk is swept; the shard's scanner
+  // consumes slices strictly in chunk order, preserving execution order.
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::vector<AccessEvent>> slices;
+    std::vector<char> ready;
+  };
+  std::vector<Mailbox> boxes(nshards);
+  for (auto& b : boxes) {
+    b.slices.resize(nchunks);
+    b.ready.assign(nchunks, 0);
+  }
+
+  std::vector<std::unordered_map<int, VarVerdict>> partial(nshards);
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::string first_error;
+  const auto record_error = [&](const char* what) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (first_error.empty()) first_error = what;
+  };
+
+  std::vector<std::thread> scanners, extractors;
+  scanners.reserve(nshards);
+  extractors.reserve(nextract);
+  struct Joiner {
+    std::vector<std::thread>& a;
+    std::vector<std::thread>& b;
+    ~Joiner() {
+      for (auto& t : a) {
+        if (t.joinable()) t.join();
+      }
+      for (auto& t : b) {
+        if (t.joinable()) t.join();
+      }
+    }
+  } joiner{extractors, scanners};
+
+  // Extraction: workers claim event chunks, sweep each once routing events to
+  // their variables' shards, and deliver the slices. One sweep of the event
+  // array total, not one per shard — and no barrier before scanning starts.
+  for (std::size_t t = 0; t < nextract; ++t) {
+    extractors.emplace_back([&] {
+      for (std::size_t c = next.fetch_add(1); c < nchunks; c = next.fetch_add(1)) {
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(nevents, begin + chunk);
+        std::vector<std::vector<AccessEvent>> local(nshards);
+        try {
+          for (std::size_t i = begin; i < end; ++i) {
+            const AccessEvent& ev = dep.events[i];
+            local[static_cast<std::size_t>(shard_of[static_cast<std::size_t>(ev.var)])]
+                .push_back(ev);
+          }
+        } catch (const std::exception& e) {
+          record_error(e.what());
+        }
+        // Deliver even after an error (possibly short slices): scanners must
+        // never deadlock on a hole; the error aborts the result below.
+        for (std::size_t s = 0; s < nshards; ++s) {
+          {
+            std::lock_guard<std::mutex> lock(boxes[s].mu);
+            boxes[s].slices[c] = std::move(local[s]);
+            boxes[s].ready[c] = 1;
+          }
+          boxes[s].cv.notify_all();
+        }
+      }
+    });
+  }
+
+  // Scanners: fold slices into the incremental two-pass scan as they arrive —
+  // pass-1 accumulation overlaps with extraction still sweeping later chunks.
+  for (std::size_t s = 0; s < nshards; ++s) {
+    scanners.emplace_back([&, s] {
+      try {
+        ShardScanner scan;
+        Mailbox& box = boxes[s];
+        for (std::size_t c = 0; c < nchunks; ++c) {
+          std::vector<AccessEvent> slice;
+          {
+            std::unique_lock<std::mutex> lock(box.mu);
+            box.cv.wait(lock, [&] { return box.ready[c] != 0; });
+            slice = std::move(box.slices[c]);
+          }
+          scan.add(slice.data(), slice.size());
+        }
+        partial[s] = scan.finish();
+      } catch (const std::exception& e) {
+        record_error(e.what());
+      }
+    });
+  }
+
+  for (auto& t : extractors) t.join();
+  for (auto& t : scanners) t.join();
+  {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (!first_error.empty()) throw AnalysisError("pipelined classify: " + first_error);
+  }
+
   std::unordered_map<int, VarVerdict> verdicts;
   for (auto& p : partial) {
     for (auto& [var, v] : p) verdicts.emplace(var, std::move(v));

@@ -66,6 +66,17 @@ ClassifyResult classify(const DepResult& dep, const PreprocessResult& pre);
 /// (one hot array) no longer serializes both the extraction and the scan.
 ClassifyResult classify_sharded(const DepResult& dep, const PreprocessResult& pre, int threads);
 
+/// Pipelined producer/consumer variant of classify_sharded — what the Session
+/// runs. Instead of every worker sweeping the whole event array (N full
+/// sweeps, then a barrier before scanning), extraction workers sweep disjoint
+/// event chunks once, routing each chunk's events to per-shard mailboxes, and
+/// the per-shard scanners consume slices in chunk order as they arrive —
+/// pass-1 accumulation overlaps extraction; no barrier between the stages.
+/// Verdicts are bit-identical to classify() and classify_sharded() by
+/// construction (same per-variable two-pass scan over the same in-order
+/// stream) and pinned by tests. `threads` <= 1 is the sequential path.
+ClassifyResult classify_pipelined(const DepResult& dep, const PreprocessResult& pre, int threads);
+
 /// Longest-processing-time assignment of variables to shards: variables
 /// sorted by descending event count (ties by ascending var id) each go to the
 /// currently lightest shard (ties to the lowest shard index) — deterministic,

@@ -26,6 +26,22 @@ AutoCheckOptions::operator AnalysisOptions() const {
   return out;
 }
 
+namespace {
+
+/// The Session's classification dispatch. Both parallel variants are
+/// bit-identical to classify(); they differ only in overhead shape: the
+/// pipelined producer/consumer overlaps extraction with scanning but spawns
+/// mailboxes and two worker groups, which small event streams never
+/// amortize — there the one-sweep-per-worker barrier path is cheaper.
+ClassifyResult classify_parallel(const DepResult& dep, const PreprocessResult& pre,
+                                 int threads) {
+  constexpr std::size_t kPipelineThreshold = std::size_t{1} << 20;
+  return dep.events.size() >= kPipelineThreshold ? classify_pipelined(dep, pre, threads)
+                                                 : classify_sharded(dep, pre, threads);
+}
+
+}  // namespace
+
 int default_thread_count() {
   const unsigned n = std::thread::hardware_concurrency();
   return n > 0 ? static_cast<int>(n) : 1;
@@ -192,7 +208,8 @@ Report Session::run_batch() {
   report.timings.dep_analysis = timer.seconds();
 
   timer.reset();
-  report.verdicts = classify_sharded(report.dep, report.pre, opts_.effective_analysis_threads());
+  report.verdicts = classify_parallel(report.dep, report.pre,
+                                      opts_.effective_analysis_threads());
   if (opts_.build_ddg) report.contracted = report.dep.complete.contract();
   report.timings.identify = timer.seconds();
   return report;
@@ -256,8 +273,8 @@ Report SessionStream::finish() {
   pass_timer_live_ = false;
   WallTimer t;
   report_.dep = analyzer_->finish();
-  report_.verdicts = classify_sharded(report_.dep, report_.pre,
-                                      opts_.effective_analysis_threads());
+  report_.verdicts = classify_parallel(report_.dep, report_.pre,
+                                       opts_.effective_analysis_threads());
   if (opts_.build_ddg) report_.contracted = report_.dep.complete.contract();
   report_.timings.preprocessing = pass1_seconds_;
   report_.timings.dep_analysis = pass2_seconds_;

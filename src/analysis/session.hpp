@@ -11,9 +11,11 @@
 // (analyze_records / analyze_file / StreamingAutoCheck / hand-rolled
 // read-then-analyze loops). Every capability is available from every source:
 // the §V-A parallel trace read, the §IX trace-file-free streaming mode, and
-// the parallel sharded classification this module adds — the event stream is
+// the parallel classification this module adds — the event stream is
 // partitioned per variable after dependency analysis and classified
-// concurrently, with verdicts bit-identical to the sequential path.
+// concurrently (the pipelined producer/consumer path, classify_pipelined:
+// extraction chunks stream into per-shard scanners with no barrier), with
+// verdicts bit-identical to the sequential path.
 //
 // The legacy entry points are thin wrappers over Session; new code should use
 // Session directly:

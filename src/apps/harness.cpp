@@ -64,24 +64,28 @@ StreamingRun analyze_app_streaming(const App& app, const Params& params,
 
 FileAnalysisRun analyze_app_via_file(const App& app, const Params& params,
                                      const std::string& trace_path,
-                                     const analysis::AnalysisOptions& opts) {
+                                     const analysis::AnalysisOptions& opts,
+                                     trace::TraceFormat format) {
   FileAnalysisRun out;
   const std::string src = app.source(params);
   const ir::Module module = minic::compile(src);
 
   WallTimer gen_timer;
   {
-    trace::FileSink sink(trace_path);
+    const std::unique_ptr<trace::TraceSink> sink = trace::make_file_sink(format, trace_path);
     vm::RunOptions ropts;
-    ropts.sink = &sink;
+    ropts.sink = sink.get();
     vm::run_module(module, ropts);
-    sink.close();
-    out.trace_bytes = sink.bytes();
-    out.trace_records = sink.count();
+    out.trace_records = sink->count();
+    sink->close();
+    out.trace_bytes = sink->bytes();
   }
   out.trace_generation_seconds = gen_timer.seconds();
 
-  out.report = analysis::Session().file(trace_path).region(app.mcl()).options(opts).run();
+  auto source = std::make_shared<trace::FileSource>(trace_path);
+  out.report =
+      analysis::Session().source(source).region(app.mcl()).options(opts).run();
+  out.trace_read_seconds = source->read_seconds();
   return out;
 }
 

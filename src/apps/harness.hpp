@@ -51,17 +51,21 @@ StreamingRun analyze_app_streaming(const App& app, const Params& params = {},
                                    const analysis::AnalysisOptions& opts = {});
 
 /// Same, but stream the trace to `trace_path` and parse it back (the paper's
-/// actual file-based workflow; used for Tables II/III).
+/// actual file-based workflow; used for Tables II/III). `format` selects the
+/// on-disk representation: the LLVM-Tracer text blocks or the binary MCTB
+/// container (read back through the same auto-detecting FileSource).
 struct FileAnalysisRun {
   analysis::Report report;
   std::uint64_t trace_bytes = 0;
   double trace_generation_seconds = 0;
   std::uint64_t trace_records = 0;
+  double trace_read_seconds = 0;  // FileSource parse/decode time
 };
 
 FileAnalysisRun analyze_app_via_file(const App& app, const Params& params,
                                      const std::string& trace_path,
-                                     const analysis::AnalysisOptions& opts = {});
+                                     const analysis::AnalysisOptions& opts = {},
+                                     trace::TraceFormat format = trace::TraceFormat::Text);
 
 /// C/R validation: checkpoint `protect` every iteration, fail at iteration
 /// `fail_at`, restart from the last checkpoint, diff final outputs.

@@ -28,6 +28,9 @@ int usage() {
                "  --scale N            multiply each app's iteration knobs by N (with\n"
                "                       --analyze; default 1 = Table II laptop scale)\n"
                "  --threads T          worker budget for the sharded run (default 4)\n"
+               "  --trace-format F     with --analyze: route the trace through a file in\n"
+               "                       format F (text | mctb) and read it back — verdicts\n"
+               "                       must match the in-memory run bit-for-bit\n"
                "  --ckpt-engine        validate C/R through the CheckpointEngine\n"
                "  --fail-at-iter N     inject a fail-stop at iteration N (default 5)\n"
                "  --dir DIR            checkpoint directory (default /tmp)\n"
@@ -135,6 +138,53 @@ int run_analyze(const std::vector<ac::apps::App>& apps, int scale, int threads) 
   return 0;
 }
 
+/// The `--analyze --trace-format F` profile: same verdict-identity check as
+/// run_analyze, but the trace goes through a file in the chosen on-disk
+/// format and is read back through the auto-detecting FileSource — the
+/// paper's file-based workflow, now measurable per format.
+int run_analyze_file(const std::vector<ac::apps::App>& apps, int scale, int threads,
+                     ac::trace::TraceFormat format) {
+  std::printf("=== analysis profile via %s trace files: --scale %d, %d worker(s) ===\n\n",
+              ac::trace::trace_format_name(format), scale, threads);
+  ac::TextTable table({"App", "Records", "Trace", "Gen s", "Read s", "Id s", "Verdicts"});
+  int failures = 0;
+  for (const auto& app : apps) {
+    try {
+      const ac::apps::Params params = app.scaled_params(app.table2_params, scale);
+      ac::analysis::AnalysisOptions seq;
+      seq.build_ddg = false;
+      const ac::apps::AnalysisRun serial = ac::apps::analyze_app(app, params, seq);
+      ac::analysis::AnalysisOptions par = seq;
+      par.threads = threads;
+      const std::string path =
+          "/tmp/ac_harness_" + app.name + "." + ac::trace::trace_format_name(format);
+      const ac::apps::FileAnalysisRun fr =
+          ac::apps::analyze_app_via_file(app, params, path, par, format);
+      std::remove(path.c_str());
+      const bool match = serial.report.verdicts.critical == fr.report.verdicts.critical &&
+                         serial.report.verdicts.all_mli == fr.report.verdicts.all_mli;
+      if (!match) ++failures;
+      table.add_row({app.name, ac::strf("%llu", (unsigned long long)fr.trace_records),
+                     ac::human_bytes(fr.trace_bytes),
+                     ac::strf("%.3f", fr.trace_generation_seconds),
+                     ac::strf("%.3f", fr.trace_read_seconds),
+                     ac::strf("%.3f", fr.report.timings.identify),
+                     match ? "MATCH" : "DIVERGED"});
+    } catch (const std::exception& e) {
+      ++failures;
+      std::fprintf(stderr, "harness: %s: %s\n", app.name.c_str(), e.what());
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (failures) {
+    std::printf("%d app(s) FAILED (file-path verdicts diverged or analysis threw)\n", failures);
+    return 1;
+  }
+  std::printf("all %zu app(s): %s-file verdicts bit-identical to the in-memory run\n",
+              apps.size(), ac::trace::trace_format_name(format));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -143,6 +193,8 @@ int main(int argc, char** argv) {
 
   bool use_engine = false;
   bool analyze = false;
+  bool have_trace_format = false;
+  ac::trace::TraceFormat trace_format = ac::trace::TraceFormat::Text;
   int scale = 1;
   int threads = 4;
   int fail_at = 5;
@@ -173,6 +225,14 @@ int main(int argc, char** argv) {
       threads = std::atoi(next());
       if (threads < 1) {
         std::fprintf(stderr, "harness: --threads expects an integer >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--trace-format") {
+      try {
+        trace_format = ac::trace::parse_trace_format(next());
+        have_trace_format = true;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "harness: %s\n", e.what());
         return 2;
       }
     } else if (arg == "--fail-at-iter") {
@@ -232,7 +292,14 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  if (analyze) return run_analyze(apps, scale, threads);
+  if (analyze) {
+    return have_trace_format ? run_analyze_file(apps, scale, threads, trace_format)
+                             : run_analyze(apps, scale, threads);
+  }
+  if (have_trace_format) {
+    std::fprintf(stderr, "harness: --trace-format requires --analyze\n");
+    return 2;
+  }
 
   std::printf("=== C/R harness: %s path, fail-stop at iteration %d ===\n\n",
               use_engine ? "CheckpointEngine" : "legacy FtiLite", fail_at);

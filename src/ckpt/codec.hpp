@@ -1,21 +1,11 @@
-// Pluggable checkpoint codecs — the engine's payload byte-path.
+// Checkpoint payload codecs — the engine-facing face of the shared
+// byte-stream codec layer (support/codec.hpp), plus the cell serialization
+// that is specific to checkpoints.
 //
-// The incremental engine (engine.hpp) persists streams of 9-byte cells
-// (u64 payload + kind tag). Raw cells waste most of their bytes: integer
-// counters carry seven zero high-bytes, doubles drift by a few mantissa
-// bytes per iteration, and kind tags are constant per variable. The codec
-// layer exploits exactly that structure:
-//
-//   RawCodec       identity (the seed engine's behavior);
-//   XorDeltaCodec  XOR against the last full image's base cells — unchanged
-//                  bytes become zero, so a dirty-cell stream turns zero-heavy
-//                  (the FTI-style differential-compression trick);
-//   RleCodec       PackBits-style run-length coding, built for those zeros;
-//   LzCodec        a small self-contained LZ77 (64 KiB window, hash-chained
-//                  greedy matcher) for the repeated patterns RLE misses;
-//   CodecChain     an ordered stack, e.g. XOR -> RLE -> LZ, so each storage
-//                  level can trade encode cost against bytes independently
-//                  (L1 raw or RLE for speed, L3 full chain for the archive).
+// The codec machinery itself (Raw/XorDelta/Rle/Lz stages, CodecChain
+// stacking) lives in support/codec.hpp so the checkpoint engine and the
+// binary trace container (trace/mctb.hpp) share exactly one implementation;
+// the aliases below keep the historical ac::ckpt spelling working.
 //
 // Cell spans are serialized byte-plane-shuffled (all payload bytes 0, then
 // all bytes 1, ..., then all kind tags — the Blosc/HDF5 shuffle filter):
@@ -23,8 +13,9 @@
 // zero, handing RLE kilobyte-long runs instead of isolated zero pairs.
 //
 // Every decode path validates its input and throws ac::CheckpointError on
-// truncated payloads, malformed tokens, out-of-window matches, bad codec
-// ids, or a decoded-size mismatch — corrupt bytes must never become UB.
+// truncated payloads, malformed tokens, bad codec ids, or a decoded-size
+// mismatch — corrupt bytes must never become UB. (The shared layer throws
+// ac::CodecError; the cell entry points below translate it.)
 #pragma once
 
 #include <cstdint>
@@ -33,71 +24,15 @@
 #include <vector>
 
 #include "ckpt/image.hpp"
+#include "support/codec.hpp"
 
 namespace ac::ckpt {
 
-enum class CodecId : std::uint8_t { Raw = 0, Xor = 1, Rle = 2, Lz = 3 };
-
-const char* codec_name(CodecId id);
-
-/// A byte-stream codec stage. Stateless; the singletons from codec_for() are
-/// shared freely across threads.
-class Codec {
- public:
-  virtual ~Codec() = default;
-
-  virtual CodecId id() const = 0;
-
-  /// Encode `raw` into the codec's token stream. `base` is the aligned
-  /// base-cell byte stream (same shuffle layout as `raw`); only XOR reads it,
-  /// and a short or empty base XORs the uncovered tail against zero.
-  virtual std::string encode(std::string_view raw, std::string_view base) const = 0;
-
-  /// Decode the entire `payload` (tokens are self-terminating, so no raw
-  /// size is needed up front). Throws CheckpointError on malformed input or
-  /// when the output would exceed `max_out` (an allocation guard; pass the
-  /// caller's known raw size with headroom).
-  virtual std::string decode(std::string_view payload, std::size_t max_out,
-                             std::string_view base) const = 0;
-};
-
-/// The shared singleton for `id`; throws CheckpointError on an unknown id.
-const Codec& codec_for(CodecId id);
-
-/// An ordered stack of codec stages. Empty = raw pass-through (the canonical
-/// "no codec", serialized as zero stages). Encode applies stages in order;
-/// decode applies them in reverse. The base-cell stream is only meaningful
-/// for the first stage (later stages see compressed bytes), so only stage 0
-/// receives it.
-class CodecChain {
- public:
-  CodecChain() = default;
-  explicit CodecChain(std::vector<CodecId> stages);
-
-  /// Parse a '+'-separated spec: "raw", "rle", "lz", "xor+rle",
-  /// "xor+rle+lz", or the alias "chain" (= xor+rle+lz). Throws
-  /// CheckpointError on an unknown token.
-  static CodecChain parse(const std::string& spec);
-
-  /// Rebuild a chain from serialized stage ids, validating every id — the
-  /// decode-side guard against corrupt headers. Throws CheckpointError.
-  static CodecChain from_ids(const std::uint8_t* ids, std::size_t count);
-
-  const std::vector<CodecId>& stages() const { return stages_; }
-  bool raw() const { return stages_.empty(); }
-  /// The parseable spec string, e.g. "xor+rle+lz"; "raw" for the empty chain.
-  std::string str() const;
-
-  std::string encode(std::string_view raw, std::string_view base = {}) const;
-  /// Decode and verify the result is exactly `expect_raw_size` bytes.
-  std::string decode(std::string_view payload, std::size_t expect_raw_size,
-                     std::string_view base = {}) const;
-
-  bool operator==(const CodecChain&) const = default;
-
- private:
-  std::vector<CodecId> stages_;
-};
+using ac::Codec;
+using ac::CodecChain;
+using ac::CodecId;
+using ac::codec_for;
+using ac::codec_name;
 
 /// Serialize a cell span byte-plane-shuffled: payload plane 0 of every cell,
 /// then plane 1, ..., plane 7, then every kind tag. 9 bytes per cell.
@@ -114,7 +49,8 @@ std::string encode_cells(const CodecChain& chain, const Cell* cells, std::size_t
                          const Cell* base, std::size_t base_count);
 
 /// Inverse of encode_cells: decode `payload` back into exactly
-/// `expect_cells` cells using the same base alignment.
+/// `expect_cells` cells using the same base alignment. Throws CheckpointError
+/// on malformed payloads (codec failures included).
 std::vector<Cell> decode_cells(const CodecChain& chain, std::string_view payload,
                                std::size_t expect_cells, const Cell* base,
                                std::size_t base_count);

@@ -253,14 +253,24 @@ EngineRecord EngineRecord::from_bytes(const std::string& data, const CheckpointI
   const std::uint8_t nstages = cur.u8();
   std::vector<std::uint8_t> ids(nstages);
   for (auto& id : ids) id = cur.u8();
-  rec.codec = CodecChain::from_ids(ids.data(), ids.size());
+  try {
+    rec.codec = CodecChain::from_ids(ids.data(), ids.size());
+  } catch (const CodecError& e) {
+    // The recovery fallbacks key on CheckpointError: a corrupt stage list
+    // must look like any other corrupt record.
+    throw CheckpointError(e.what());
+  }
 
   if (rec.kind == Kind::Full) {
     const std::uint64_t raw_len = cur.u64();
     const std::uint32_t enc_len = cur.u32();
     const std::string enc = cur.str(enc_len);
-    rec.full = CheckpointImage::from_bytes(
-        rec.codec.decode(enc, static_cast<std::size_t>(raw_len), {}));
+    try {
+      rec.full = CheckpointImage::from_bytes(
+          rec.codec.decode(enc, static_cast<std::size_t>(raw_len), {}));
+    } catch (const CodecError& e) {
+      throw CheckpointError(e.what());
+    }
   } else if (rec.kind == Kind::Delta) {
     if (chain_has_xor(rec.codec) && base == nullptr) {
       throw CheckpointError("xor-coded delta record needs its base image to decode");

@@ -1,0 +1,365 @@
+#include "support/codec.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace ac {
+
+namespace {
+
+// --- RLE token layout (PackBits-style) --------------------------------------
+// control c in [0x00, 0x7F]: literal run, c+1 bytes follow;
+// control c in [0x80, 0xFF]: repeated byte, length (c - 0x80) + kRleMinRun,
+//                            followed by the single value byte.
+// A run token costs 2 bytes, so runs shorter than 3 stay literal; the worst
+// case (no runs at all) expands by 1 byte per 128.
+constexpr std::size_t kRleMinRun = 3;
+constexpr std::size_t kRleMaxRun = 0x7F + kRleMinRun;  // 130
+constexpr std::size_t kRleMaxLiteral = 0x80;           // 128
+
+// --- LZ token layout --------------------------------------------------------
+// control c in [0x00, 0x7F]: literal run, c+1 bytes follow;
+// control c in [0x80, 0xFF]: match of length (c & 0x7F) + kLzMinMatch against
+//                            the u16-LE distance that follows (1..65535 back).
+constexpr std::size_t kLzMinMatch = 4;
+constexpr std::size_t kLzMaxMatch = 0x7F + kLzMinMatch;  // 131
+constexpr std::size_t kLzMaxLiteral = 0x80;
+constexpr std::size_t kLzWindow = 0xFFFF;
+constexpr std::size_t kLzHashBits = 15;
+
+std::uint32_t lz_hash(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kLzHashBits);
+}
+
+class RawCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::Raw; }
+  std::string encode(std::string_view raw, std::string_view) const override {
+    return std::string(raw);
+  }
+  std::string decode(std::string_view payload, std::size_t max_out,
+                     std::string_view) const override {
+    if (payload.size() > max_out) throw CodecError("raw codec: payload exceeds limit");
+    return std::string(payload);
+  }
+};
+
+class XorDeltaCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::Xor; }
+  std::string encode(std::string_view raw, std::string_view base) const override {
+    return apply(raw, base);
+  }
+  std::string decode(std::string_view payload, std::size_t max_out,
+                     std::string_view base) const override {
+    if (payload.size() > max_out) throw CodecError("xor codec: payload exceeds limit");
+    return apply(payload, base);  // XOR is an involution
+  }
+
+ private:
+  static std::string apply(std::string_view in, std::string_view base) {
+    std::string out(in);
+    const std::size_t n = std::min(out.size(), base.size());
+    for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<char>(out[i] ^ base[i]);
+    return out;  // bytes past the base are kept verbatim (XOR against zero)
+  }
+};
+
+class RleCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::Rle; }
+
+  std::string encode(std::string_view raw, std::string_view) const override {
+    std::string out;
+    out.reserve(raw.size() / 4 + 16);
+    std::size_t lit_start = 0;  // start of the pending literal run
+    std::size_t i = 0;
+    const auto flush_literals = [&](std::size_t end) {
+      while (lit_start < end) {
+        const std::size_t n = std::min(end - lit_start, kRleMaxLiteral);
+        out.push_back(static_cast<char>(n - 1));
+        out.append(raw.data() + lit_start, n);
+        lit_start += n;
+      }
+    };
+    while (i < raw.size()) {
+      std::size_t run = 1;
+      while (i + run < raw.size() && raw[i + run] == raw[i] && run < kRleMaxRun) ++run;
+      if (run >= kRleMinRun) {
+        flush_literals(i);
+        out.push_back(static_cast<char>(0x80 + (run - kRleMinRun)));
+        out.push_back(raw[i]);
+        i += run;
+        lit_start = i;
+      } else {
+        i += run;
+      }
+    }
+    flush_literals(raw.size());
+    return out;
+  }
+
+  std::string decode(std::string_view payload, std::size_t max_out,
+                     std::string_view) const override {
+    std::string out;
+    // One upfront reservation sized by what the tokens can actually produce
+    // (a run token expands to at most kRleMaxRun bytes), capped by the
+    // caller's limit — a corrupt huge `max_out` never allocates ahead of
+    // real decoded bytes.
+    out.reserve(std::min(max_out, payload.size() * (kRleMaxRun / 2) + 16));
+    std::size_t i = 0;
+    while (i < payload.size()) {
+      const unsigned char c = static_cast<unsigned char>(payload[i++]);
+      if (c < 0x80) {
+        const std::size_t n = static_cast<std::size_t>(c) + 1;
+        if (i + n > payload.size()) throw CodecError("rle: truncated literal run");
+        if (out.size() + n > max_out) throw CodecError("rle: output exceeds limit");
+        out.append(payload.data() + i, n);
+        i += n;
+      } else {
+        if (i >= payload.size()) throw CodecError("rle: truncated repeat run");
+        const std::size_t n = static_cast<std::size_t>(c - 0x80) + kRleMinRun;
+        if (out.size() + n > max_out) throw CodecError("rle: output exceeds limit");
+        out.append(n, payload[i++]);
+      }
+    }
+    return out;
+  }
+};
+
+class LzCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::Lz; }
+
+  std::string encode(std::string_view raw, std::string_view) const override {
+    std::string out;
+    out.reserve(raw.size() / 2 + 16);
+    const auto* data = reinterpret_cast<const unsigned char*>(raw.data());
+    const std::size_t n = raw.size();
+
+    std::size_t lit_start = 0;
+    const auto flush_literals = [&](std::size_t end) {
+      while (lit_start < end) {
+        const std::size_t len = std::min(end - lit_start, kLzMaxLiteral);
+        out.push_back(static_cast<char>(len - 1));
+        out.append(raw.data() + lit_start, len);
+        lit_start += len;
+      }
+    };
+    if (n < kLzMinMatch) {  // nothing to match against; skip the table
+      flush_literals(n);
+      return out;
+    }
+
+    // Hash table sized to the input (clamped to the window) and reused per
+    // thread: the checkpoint engine encodes one small blob per variable per
+    // commit, and a fresh 256 KiB zero-fill per call would dwarf the work
+    // itself. The decoder never sees the table, so the sizing is free to vary.
+    unsigned bits = 8;
+    while ((std::size_t{1} << bits) < n && bits < kLzHashBits) ++bits;
+    thread_local std::vector<std::int64_t> table;
+    table.assign(std::size_t{1} << bits, -1);
+
+    std::size_t i = 0;
+    while (i + kLzMinMatch <= n) {
+      const std::uint32_t h = lz_hash(data + i) >> (kLzHashBits - bits);
+      const std::int64_t cand = table[h];
+      table[h] = static_cast<std::int64_t>(i);
+      if (cand >= 0 && i - static_cast<std::size_t>(cand) <= kLzWindow &&
+          std::memcmp(data + cand, data + i, kLzMinMatch) == 0) {
+        std::size_t len = kLzMinMatch;
+        const std::size_t cap = std::min(kLzMaxMatch, n - i);
+        while (len < cap && data[cand + len] == data[i + len]) ++len;
+        flush_literals(i);
+        out.push_back(static_cast<char>(0x80 + (len - kLzMinMatch)));
+        const std::uint16_t dist = static_cast<std::uint16_t>(i - static_cast<std::size_t>(cand));
+        out.push_back(static_cast<char>(dist & 0xFF));
+        out.push_back(static_cast<char>(dist >> 8));
+        i += len;
+        lit_start = i;
+      } else {
+        ++i;
+      }
+    }
+    flush_literals(n);
+    return out;
+  }
+
+  std::string decode(std::string_view payload, std::size_t max_out,
+                     std::string_view) const override {
+    std::string out;
+    // Sized by the tokens' maximum expansion (a 3-byte match token produces
+    // at most kLzMaxMatch bytes), capped by the caller's limit: big decodes
+    // (the MCTB trace columns) proceed memcpy-speed without growth stalls,
+    // while a corrupt huge `max_out` never allocates ahead of real bytes.
+    out.reserve(std::min(max_out, payload.size() * (kLzMaxMatch / 3) + 16));
+    std::size_t i = 0;
+    while (i < payload.size()) {
+      const unsigned char c = static_cast<unsigned char>(payload[i++]);
+      if (c < 0x80) {
+        const std::size_t len = static_cast<std::size_t>(c) + 1;
+        if (i + len > payload.size()) throw CodecError("lz: truncated literal run");
+        if (out.size() + len > max_out) throw CodecError("lz: output exceeds limit");
+        out.append(payload.data() + i, len);
+        i += len;
+      } else {
+        if (i + 2 > payload.size()) throw CodecError("lz: truncated match token");
+        const std::size_t len = static_cast<std::size_t>(c - 0x80) + kLzMinMatch;
+        const std::size_t dist = static_cast<unsigned char>(payload[i]) |
+                                 (static_cast<std::size_t>(static_cast<unsigned char>(payload[i + 1])) << 8);
+        i += 2;
+        if (dist == 0 || dist > out.size()) throw CodecError("lz: match distance out of window");
+        if (out.size() + len > max_out) throw CodecError("lz: output exceeds limit");
+        const std::size_t old = out.size();
+        if (dist >= len) {
+          // Non-overlapping match: one bulk copy. resize first so a
+          // reallocation cannot invalidate the source half-way through.
+          out.resize(old + len);
+          std::memcpy(out.data() + old, out.data() + (old - dist), len);
+        } else {
+          // Overlapping match (dist < len): the output feeds itself.
+          std::size_t src = old - dist;
+          for (std::size_t k = 0; k < len; ++k) out.push_back(out[src + k]);
+        }
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+const char* codec_name(CodecId id) {
+  switch (id) {
+    case CodecId::Raw: return "raw";
+    case CodecId::Xor: return "xor";
+    case CodecId::Rle: return "rle";
+    case CodecId::Lz: return "lz";
+  }
+  return "?";
+}
+
+const Codec& codec_for(CodecId id) {
+  static const RawCodec raw;
+  static const XorDeltaCodec xr;
+  static const RleCodec rle;
+  static const LzCodec lz;
+  switch (id) {
+    case CodecId::Raw: return raw;
+    case CodecId::Xor: return xr;
+    case CodecId::Rle: return rle;
+    case CodecId::Lz: return lz;
+  }
+  throw CodecError(strf("unknown codec id %u", static_cast<unsigned>(id)));
+}
+
+CodecChain::CodecChain(std::vector<CodecId> stages) : stages_(std::move(stages)) {
+  for (const CodecId id : stages_) codec_for(id);  // validate
+}
+
+CodecChain CodecChain::parse(const std::string& spec) {
+  if (spec.empty() || spec == "raw") return CodecChain{};
+  if (spec == "chain") return CodecChain{{CodecId::Xor, CodecId::Rle, CodecId::Lz}};
+  std::vector<CodecId> stages;
+  for (const std::string_view tok : split_view(spec, '+')) {
+    if (tok == "xor") {
+      stages.push_back(CodecId::Xor);
+    } else if (tok == "rle") {
+      stages.push_back(CodecId::Rle);
+    } else if (tok == "lz") {
+      stages.push_back(CodecId::Lz);
+    } else if (tok == "raw") {
+      // identity stage: allowed, contributes nothing
+      stages.push_back(CodecId::Raw);
+    } else {
+      throw CodecError("unknown codec '" + std::string(tok) + "' in spec '" + spec +
+                       "' (want raw, xor, rle, lz, or chain)");
+    }
+  }
+  return CodecChain{std::move(stages)};
+}
+
+CodecChain CodecChain::from_ids(const std::uint8_t* ids, std::size_t count) {
+  std::vector<CodecId> stages;
+  stages.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (ids[i] > static_cast<std::uint8_t>(CodecId::Lz)) {
+      throw CodecError(strf("bad codec id %u in record header", ids[i]));
+    }
+    stages.push_back(static_cast<CodecId>(ids[i]));
+  }
+  return CodecChain{std::move(stages)};
+}
+
+std::string CodecChain::str() const {
+  if (stages_.empty()) return "raw";
+  std::string out;
+  for (const CodecId id : stages_) {
+    if (!out.empty()) out += '+';
+    out += codec_name(id);
+  }
+  return out;
+}
+
+std::string CodecChain::encode(std::string_view raw, std::string_view base) const {
+  if (stages_.empty()) return std::string(raw);
+  std::string cur = codec_for(stages_[0]).encode(raw, base);
+  for (std::size_t s = 1; s < stages_.size(); ++s) {
+    cur = codec_for(stages_[s]).encode(cur, {});
+  }
+  return cur;
+}
+
+std::string CodecChain::decode(std::string_view payload, std::size_t expect_raw_size,
+                               std::string_view base) const {
+  // Intermediate stages may legitimately be larger than the final raw size
+  // (an RLE stream of an incompressible input), so the allocation guard gets
+  // headroom compounded per stage: each RLE/LZ stage expands incompressible
+  // input by at most 1 byte per 128 plus a trailing partial token, so
+  // cap/64 + 512 per stage strictly dominates — even pathological stacked
+  // chains (rle+rle+...) that encode successfully must decode successfully.
+  std::size_t max_out = expect_raw_size;
+  for (std::size_t s = 0; s < stages_.size(); ++s) max_out += max_out / 64 + 512;
+  std::string cur(payload);
+  for (std::size_t s = stages_.size(); s-- > 0;) {
+    cur = codec_for(stages_[s]).decode(cur, max_out, s == 0 ? base : std::string_view{});
+  }
+  if (cur.size() != expect_raw_size) {
+    throw CodecError(strf("codec chain '%s' decoded %zu bytes, expected %zu", str().c_str(),
+                          cur.size(), expect_raw_size));
+  }
+  return cur;
+}
+
+std::string shuffle_planes(const void* data, std::size_t count, std::size_t stride) {
+  const auto* in = static_cast<const unsigned char*>(data);
+  std::string out(count * stride, '\0');
+  for (std::size_t plane = 0; plane < stride; ++plane) {
+    char* dst = out.data() + plane * count;
+    for (std::size_t i = 0; i < count; ++i) {
+      dst[i] = static_cast<char>(in[i * stride + plane]);
+    }
+  }
+  return out;
+}
+
+void unshuffle_planes(std::string_view bytes, std::size_t count, std::size_t stride, void* out) {
+  if (bytes.size() != count * stride) {
+    throw CodecError(strf("shuffled stream of %zu bytes, expected %zu x %zu", bytes.size(),
+                          count, stride));
+  }
+  auto* dst = static_cast<unsigned char*>(out);
+  for (std::size_t plane = 0; plane < stride; ++plane) {
+    const char* src = bytes.data() + plane * count;
+    for (std::size_t i = 0; i < count; ++i) {
+      dst[i * stride + plane] = static_cast<unsigned char>(src[i]);
+    }
+  }
+}
+
+}  // namespace ac

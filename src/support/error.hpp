@@ -34,6 +34,14 @@ class VmError : public Error {
   explicit VmError(const std::string& what) : Error("vm: " + what) {}
 };
 
+/// Raised by the shared byte-stream codec layer (support/codec.hpp) on
+/// malformed or truncated payloads. Containers translate it into their domain
+/// error (CheckpointError, TraceFormatError) at the boundary.
+class CodecError : public Error {
+ public:
+  explicit CodecError(const std::string& what) : Error("codec: " + what) {}
+};
+
 /// Raised by the C/R substrate (missing/corrupt checkpoint, size mismatch).
 class CheckpointError : public Error {
  public:

@@ -66,6 +66,26 @@ std::string strf(const char* fmt, ...) {
   return out;
 }
 
+void appendf(std::string& out, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  char stack[256];  // trace lines are short; the slow path is for safety only
+  const int n = std::vsnprintf(stack, sizeof stack, fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    if (static_cast<std::size_t>(n) < sizeof stack) {
+      out.append(stack, static_cast<std::size_t>(n));
+    } else {
+      const std::size_t old = out.size();
+      out.resize(old + static_cast<std::size_t>(n));
+      std::vsnprintf(out.data() + old, static_cast<std::size_t>(n) + 1, fmt, ap2);
+    }
+  }
+  va_end(ap2);
+}
+
 std::int64_t parse_i64(std::string_view s) {
   s = trim(s);
   if (s.empty()) throw Error("parse_i64: empty field");

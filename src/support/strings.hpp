@@ -27,6 +27,10 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep);
 /// printf-style formatting into a std::string (libstdc++ 12 lacks std::format).
 std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// printf-style formatting appended to `out` — no temporary string, so the
+/// per-record trace writers format straight into their batch buffer.
+void appendf(std::string& out, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
 /// Parse a signed decimal int64; throws ac::Error on garbage.
 std::int64_t parse_i64(std::string_view s);
 

@@ -1,0 +1,73 @@
+// MCTB ("MiniC Trace Binary") — the binary on-disk trace container.
+//
+// A trace file in this format is the interned SoA TraceBuffer
+// (trace/buffer.hpp) made durable: a self-describing header, a section table,
+// and one codec-chain-encoded payload per SoA column, so parsing is a
+// read + validate + unshuffle instead of text decoding. The layout:
+//
+//   FileHeader        magic "MCTB", version, record/operand/symbol counts,
+//                     chunk count, CRC of the section table
+//   SectionHeader[]   kind, chunk index, element count, raw/payload sizes,
+//                     absolute payload offset, payload CRC32, codec stage ids
+//   payloads          each section's column data, run through the shared
+//                     support/codec.hpp CodecChain (the same implementation
+//                     the checkpoint engine uses)
+//
+// Sections:
+//   Symbols        the SymbolPool: a u32 length array + the arena bytes.
+//   RecordChunk c  PackedRecord columns of records [c*chunk, ...): dyn_id
+//                  (zigzag-delta vs the previous record — dynamic ids are
+//                  monotone), func/bb ids, op_count (op_offset is recomputed
+//                  on load), line, opcode. Fixed-stride columns are
+//                  byte-plane shuffled before the codec sees them.
+//   OperandChunk c the operand columns of those records: the 8-byte value
+//                  delta-encoded against the last value seen for the same
+//                  operand name (addresses are near-monotone per variable,
+//                  so deltas are tiny), zigzag-folded and plane-shuffled;
+//                  plus name ids, index, bits, flags.
+//
+// Chunks are self-contained (delta predictors reset per chunk) and land in
+// disjoint slots of the output arrays, so the parallel read decodes them
+// concurrently with no merge or concat step. Every decode path validates
+// magic/version/bounds/CRC and throws ac::TraceFormatError on malformed
+// input — corrupt bytes must never become UB.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/codec.hpp"
+#include "trace/buffer.hpp"
+#include "trace/reader.hpp"
+
+namespace ac::trace {
+
+/// MCTB write knobs. The default chain (rle+lz) compresses the shuffled
+/// columns well while keeping decode memcpy-dominated; pass CodecChain{}
+/// ("raw") for the fastest possible parse at larger file size.
+struct MctbOptions {
+  CodecChain codec = CodecChain::parse("rle+lz");
+  /// Records per chunk — the parallel-decode granule.
+  std::size_t chunk_records = std::size_t{1} << 16;
+};
+
+/// True when `bytes` starts with the MCTB magic (the FileSource sniff).
+bool is_mctb(std::string_view bytes);
+
+/// Serialize `buf` as an MCTB container.
+std::string mctb_to_bytes(const TraceBuffer& buf, const MctbOptions& opts = {});
+
+/// Write `buf` to `path` as an MCTB container; returns the container size in
+/// bytes. Throws ac::Error on I/O failure.
+std::uint64_t write_mctb_file(const TraceBuffer& buf, const std::string& path,
+                              const MctbOptions& opts = {});
+
+/// Validate + decode an MCTB container. Chunks are decoded on `num_threads`
+/// workers (0 = hardware default, <=1 = serial) straight into their disjoint
+/// slots of the result arrays — no concat step. `progress` fires per decoded
+/// chunk with the consumed payload byte range (out of order under threads).
+/// Throws ac::TraceFormatError on any malformed input.
+TraceBuffer read_mctb(std::string_view bytes, int num_threads = 0,
+                      const ParseProgress& progress = {});
+
+}  // namespace ac::trace

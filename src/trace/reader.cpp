@@ -1,6 +1,10 @@
 #include "trace/reader.hpp"
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #ifdef _OPENMP
@@ -227,56 +231,98 @@ TraceBuffer read_trace_buffer(std::string_view text, const ParseProgress& progre
 
 TraceBuffer read_trace_buffer_parallel(std::string_view text, int num_threads,
                                        const ParseProgress& progress) {
-#ifndef _OPENMP
-  (void)num_threads;
-  return read_trace_buffer(text, progress);
-#else
   if (text.size() < (1u << 18)) return read_trace_buffer(text, progress);
 
-  int threads = num_threads > 0 ? num_threads : omp_get_max_threads();
+  int threads =
+      num_threads > 0 ? num_threads : static_cast<int>(std::thread::hardware_concurrency());
   if (threads < 1) threads = 1;
   if (threads > 256) threads = 256;  // a runaway request must not exhaust thread stacks
+  if (threads == 1) return read_trace_buffer(text, progress);
   const std::size_t want_chunks = static_cast<std::size_t>(threads) * 4;
 
   const auto chunks = chunk_at_block_boundaries(text, text.size() / want_chunks + 1);
+  if (chunks.size() < 2) return read_trace_buffer(text, progress);
+  const std::size_t n = chunks.size();
 
-  // Workers parse private buffers, then bulk-merge their symbols into the
-  // shared pool (SymbolPool::merge is mutex-protected, so the merges overlap
-  // with other workers still parsing).
+  // Pipelined producer/consumer (no concat barrier): workers claim chunks,
+  // parse them into private buffers and bulk-merge their symbols into the
+  // shared pool (SymbolPool::merge is mutex-protected, so merges overlap with
+  // other workers still parsing); the calling thread is the consumer, and
+  // splices chunk c into the output the moment it is ready — while later
+  // chunks are still being parsed. append_remapped only touches the record/
+  // operand arrays, never the pool, so the splice runs concurrently with
+  // in-flight merges.
   TraceBuffer out;
-  std::vector<TraceBuffer> partial(chunks.size());
-  std::vector<std::vector<std::uint32_t>> remaps(chunks.size());
+  std::vector<TraceBuffer> partial(n);
+  std::vector<std::vector<std::uint32_t>> remaps(n);
+  std::vector<char> ready(n, 0);
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
   std::string first_error;
-#pragma omp parallel for schedule(dynamic) num_threads(threads)
-  for (std::size_t c = 0; c < chunks.size(); ++c) {
-    try {
-      const std::string_view sub = text.substr(chunks[c].first, chunks[c].second - chunks[c].first);
-      partial[c].reserve(sub.size() / 96 + 1, sub.size() / 32 + 1);
-      parse_text_into(sub, partial[c]);
-      remaps[c] = out.pool().merge(partial[c].pool());
-      if (progress) {
-#pragma omp critical
-        progress(chunks[c].first, chunks[c].second);
-      }
-    } catch (const std::exception& e) {
-#pragma omp critical
-      if (first_error.empty()) first_error = e.what();
-    }
-  }
-  if (!first_error.empty()) throw TraceFormatError(first_error);
 
-  std::size_t total_records = 0, total_operands = 0;
-  for (const auto& p : partial) {
-    total_records += p.size();
-    total_operands += p.operands().size();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (std::size_t c = next.fetch_add(1); c < n; c = next.fetch_add(1)) {
+        try {
+          const std::string_view sub =
+              text.substr(chunks[c].first, chunks[c].second - chunks[c].first);
+          partial[c].reserve(sub.size() / 96 + 1, sub.size() / 32 + 1);
+          parse_text_into(sub, partial[c]);
+          remaps[c] = out.pool().merge(partial[c].pool());
+        } catch (const std::exception& e) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (first_error.empty()) first_error = e.what();
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          ready[c] = 1;
+        }
+        cv.notify_all();
+      }
+    });
   }
-  out.reserve(total_records, total_operands);
-  for (std::size_t c = 0; c < partial.size(); ++c) {
+
+  bool reserved = false;
+  bool failed = false;
+  for (std::size_t c = 0; c < n && !failed; ++c) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return ready[c] != 0; });
+      failed = !first_error.empty();
+    }
+    if (failed) break;
+    if (!reserved) {
+      // Size the output arrays once, extrapolating the first chunk's
+      // record/operand density over the whole input (5% headroom).
+      const double scale = static_cast<double>(text.size()) /
+                           static_cast<double>(chunks[0].second - chunks[0].first) * 1.05;
+      out.reserve(
+          static_cast<std::size_t>(static_cast<double>(partial[0].size()) * scale) + 1,
+          static_cast<std::size_t>(static_cast<double>(partial[0].operands().size()) * scale) +
+              1);
+      reserved = true;
+    }
+    // If the extrapolation undershot (chunk 0 sparser than the rest), grow
+    // geometrically here — append_remapped's own reserve is exact-fit, which
+    // would otherwise reallocate the whole arrays on every remaining chunk.
+    const auto grow = [](auto& vec, std::size_t need) {
+      if (need > vec.capacity()) vec.reserve(std::max(need, vec.capacity() + vec.capacity() / 2));
+    };
+    grow(out.records(), out.records().size() + partial[c].records().size());
+    grow(out.operands(), out.operands().size() + partial[c].operands().size());
     out.append_remapped(partial[c], remaps[c]);
     partial[c] = TraceBuffer();  // release chunk memory as it is consumed
+    if (progress) progress(chunks[c].first, chunks[c].second);
+  }
+  for (auto& t : pool) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!first_error.empty()) throw TraceFormatError(first_error);
   }
   return out;
-#endif
 }
 
 std::vector<TraceRecord> read_trace_text(std::string_view text) {

@@ -7,7 +7,11 @@
 //  * read_trace_buffer_parallel — the §V-A decomposition on the same layout:
 //    the input is partitioned at block-header boundaries, workers parse chunks
 //    into private buffers and bulk-merge their symbols into the shared pool,
-//    and the chunks are concatenated in order.
+//    and a consumer splices each finished chunk into the output in order
+//    while later chunks still parse (pipelined — no concat barrier).
+//
+// Binary MCTB traces are parsed by trace/mctb.hpp; FileSource sniffs the
+// magic and dispatches.
 //
 // The legacy std::vector<TraceRecord> readers below them are kept as the
 // reference implementation: the round-trip property tests pin the TraceBuffer
@@ -35,9 +39,12 @@ using ParseProgress = std::function<void(std::size_t begin, std::size_t end)>;
 /// counting pre-pass, no doubling spikes), and `progress` fires per segment.
 TraceBuffer read_trace_buffer(std::string_view text, const ParseProgress& progress = {});
 
-/// Zero-copy parallel parse (OpenMP; falls back to serial when built without
-/// OpenMP or for small inputs). `num_threads` 0 = runtime default. `progress`
-/// fires as chunks complete (out of order).
+/// Zero-copy parallel parse, pipelined producer/consumer: workers parse
+/// block-aligned chunks into private buffers (merging symbols into the shared
+/// pool as they finish) while the calling thread splices each completed chunk
+/// into the output in order — there is no concat barrier after the parse.
+/// Falls back to serial for small inputs. `num_threads` 0 = runtime default.
+/// `progress` fires per chunk, in input order.
 TraceBuffer read_trace_buffer_parallel(std::string_view text, int num_threads = 0,
                                        const ParseProgress& progress = {});
 

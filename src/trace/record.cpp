@@ -94,21 +94,24 @@ bool TraceRecord::is_call_with_body() const {
 }
 
 std::string TraceRecord::to_text() const {
-  std::string out = strf("0,%d,%s,%s,%d,%" PRIu64 "\n", line, func.c_str(), bb.c_str(),
-                         static_cast<int>(opcode), dyn_id);
-  for (const auto& op : operands) {
-    std::string slot;
-    switch (op.slot) {
-      case OperandSlot::Input: slot = strf("%d", op.index); break;
-      case OperandSlot::Callee: slot = "0"; break;
-      case OperandSlot::Param: slot = "f"; break;
-      case OperandSlot::Result: slot = "r"; break;
-    }
-    out += strf("%s,%d,%s,%d,%s\n", slot.c_str(), op.bits,
-                value_to_text(op.value).c_str(), op.is_reg ? 1 : 0,
-                op.name.empty() ? " " : op.name.c_str());
-  }
+  std::string out;
+  append_text(out);
   return out;
+}
+
+void TraceRecord::append_text(std::string& out) const {
+  appendf(out, "0,%d,%s,%s,%d,%" PRIu64 "\n", line, func.c_str(), bb.c_str(),
+          static_cast<int>(opcode), dyn_id);
+  for (const auto& op : operands) {
+    switch (op.slot) {
+      case OperandSlot::Input: appendf(out, "%d", op.index); break;
+      case OperandSlot::Callee: out += '0'; break;
+      case OperandSlot::Param: out += 'f'; break;
+      case OperandSlot::Result: out += 'r'; break;
+    }
+    appendf(out, ",%d,%s,%d,%s\n", op.bits, value_to_text(op.value).c_str(),
+            op.is_reg ? 1 : 0, op.name.empty() ? " " : op.name.c_str());
+  }
 }
 
 namespace {

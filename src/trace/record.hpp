@@ -62,6 +62,9 @@ struct TraceRecord {
 
   /// Render as an LLVM-Tracer text block (with trailing newline).
   std::string to_text() const;
+  /// Same bytes appended to `out` — the allocation-free path the buffered
+  /// trace writers stream through (no per-record temporary string).
+  void append_text(std::string& out) const;
 };
 
 /// Parse one block starting at `lines[pos]`; advances pos past the block.

@@ -9,6 +9,7 @@
 
 #include "support/error.hpp"
 #include "support/timer.hpp"
+#include "trace/mctb.hpp"
 #include "trace/reader.hpp"
 
 namespace ac::trace {
@@ -92,8 +93,15 @@ const TraceBuffer& FileSource::buffer() {
   const ParseProgress release = [&file](std::size_t begin, std::size_t end) {
     file.release(begin, end);
   };
-  buffer_ = read_threads_ > 1 ? read_trace_buffer_parallel(file.view(), read_threads_, release)
-                              : read_trace_buffer(file.view(), release);
+  if (is_mctb(file.view())) {
+    // Binary container: a validated chunked read instead of text decoding.
+    buffer_ = read_mctb(file.view(), read_threads_ > 1 ? read_threads_ : 1, release);
+    format_ = "mctb";
+  } else {
+    buffer_ = read_threads_ > 1 ? read_trace_buffer_parallel(file.view(), read_threads_, release)
+                                : read_trace_buffer(file.view(), release);
+    format_ = "text";
+  }
   read_seconds_ = timer.seconds();
   loaded_ = true;
   return buffer_;

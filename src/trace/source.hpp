@@ -68,11 +68,14 @@ class TraceSource {
   bool materialized_valid_ = false;
 };
 
-/// A trace file in the LLVM-Tracer block format. The file is mmap()ed (with a
-/// buffered-read fallback) and parsed zero-copy into the interned buffer on
-/// first access — serially, or with the §V-A block-aligned parallel
-/// decomposition when the read-thread budget exceeds one. The mapping is
-/// dropped as soon as parsing finishes (the pool owns the name bytes).
+/// A trace file — the LLVM-Tracer text block format or the binary MCTB
+/// container (trace/mctb.hpp), auto-detected by the magic bytes. The file is
+/// mmap()ed (with a buffered-read fallback) and materialized zero-copy into
+/// the interned buffer on first access: text parses serially or with the
+/// §V-A block-aligned pipelined parallel decomposition when the read-thread
+/// budget exceeds one; MCTB goes through the validating chunked binary read
+/// (parallel under the same budget). The mapping is dropped as soon as the
+/// read finishes (the pool owns the name bytes).
 class FileSource final : public TraceSource {
  public:
   /// `read_threads` <= 1 parses serially; 0 keeps whatever set_read_threads()
@@ -86,12 +89,15 @@ class FileSource final : public TraceSource {
   std::uint64_t record_count() const override { return buffer_.size(); }
 
   const std::string& path() const { return path_; }
+  /// "text" or "mctb" once buffer() has run ("unread" before).
+  const char* format() const { return format_; }
 
  private:
   std::string path_;
   int read_threads_ = 0;
   bool loaded_ = false;
   double read_seconds_ = 0;
+  const char* format_ = "unread";
   TraceBuffer buffer_;
 };
 

@@ -8,6 +8,16 @@ namespace {
 constexpr std::size_t kFlushThreshold = 1 << 20;  // 1 MiB write batches
 }
 
+TraceFormat parse_trace_format(const std::string& name) {
+  if (name == "text") return TraceFormat::Text;
+  if (name == "mctb") return TraceFormat::Mctb;
+  throw Error("unknown trace format '" + name + "' (want text or mctb)");
+}
+
+const char* trace_format_name(TraceFormat f) {
+  return f == TraceFormat::Mctb ? "mctb" : "text";
+}
+
 FileSink::FileSink(const std::string& path) {
   file_ = std::fopen(path.c_str(), "wb");
   if (!file_) throw Error("cannot open trace file for writing: " + path);
@@ -24,7 +34,9 @@ FileSink::~FileSink() {
 }
 
 void FileSink::append(const TraceRecord& rec) {
-  buffer_ += rec.to_text();
+  // Formats straight into the batch buffer — no per-record temporary string
+  // between the record and the 1 MiB write batches.
+  rec.append_text(buffer_);
   ++count_;
   if (buffer_.size() >= kFlushThreshold) flush();
 }
@@ -42,6 +54,33 @@ void FileSink::close() {
   flush();
   std::fclose(file_);
   file_ = nullptr;
+}
+
+MctbFileSink::MctbFileSink(std::string path, MctbOptions opts)
+    : path_(std::move(path)), opts_(std::move(opts)) {}
+
+MctbFileSink::~MctbFileSink() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; the explicit close() path reports failures.
+  }
+}
+
+void MctbFileSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  bytes_ = write_mctb_file(buffer_, path_, opts_);
+}
+
+std::unique_ptr<TraceSink> make_file_sink(TraceFormat format, const std::string& path,
+                                          const CodecChain& codec) {
+  if (format == TraceFormat::Mctb) {
+    MctbOptions opts;
+    opts.codec = codec;
+    return std::make_unique<MctbFileSink>(path, std::move(opts));
+  }
+  return std::make_unique<FileSink>(path);
 }
 
 }  // namespace ac::trace

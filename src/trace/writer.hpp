@@ -10,9 +10,18 @@
 #include <vector>
 
 #include "trace/buffer.hpp"
+#include "trace/mctb.hpp"
 #include "trace/record.hpp"
 
 namespace ac::trace {
+
+/// On-disk trace formats the writers/readers speak: the LLVM-Tracer text
+/// block format, and the binary SoA container (trace/mctb.hpp).
+enum class TraceFormat { Text, Mctb };
+
+/// "text" / "mctb"; throws ac::Error on anything else.
+TraceFormat parse_trace_format(const std::string& name);
+const char* trace_format_name(TraceFormat f);
 
 class TraceSink {
  public:
@@ -20,6 +29,12 @@ class TraceSink {
   virtual void append(const TraceRecord& rec) = 0;
   /// Number of records written so far.
   virtual std::uint64_t count() const = 0;
+  /// Make the stream durable and release resources early (otherwise the
+  /// destructor does, eating errors). No-op for in-memory sinks.
+  virtual void close() {}
+  /// Bytes written to durable storage so far (0 for in-memory sinks; the
+  /// trace size column of Table II for file sinks).
+  virtual std::uint64_t bytes() const { return 0; }
 };
 
 /// Discards records but counts them (used to time pure execution).
@@ -94,10 +109,10 @@ class FileSink final : public TraceSink {
   std::uint64_t count() const override { return count_; }
 
   /// Bytes written so far (trace size column of Table II).
-  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t bytes() const override { return bytes_; }
 
   /// Flush and close early (otherwise the destructor does).
-  void close();
+  void close() override;
 
  private:
   std::FILE* file_ = nullptr;
@@ -107,5 +122,39 @@ class FileSink final : public TraceSink {
 
   void flush();
 };
+
+/// Writes the binary MCTB container (trace/mctb.hpp): records are interned
+/// into a TraceBuffer as they are emitted (the same packing the analysis
+/// replays, so nothing per-record survives on the heap) and the container is
+/// serialized on close(). The column/delta encoding needs the finished
+/// arrays, so the file appears atomically at close, not incrementally.
+class MctbFileSink final : public TraceSink {
+ public:
+  explicit MctbFileSink(std::string path, MctbOptions opts = {});
+  ~MctbFileSink() override;
+  MctbFileSink(const MctbFileSink&) = delete;
+  MctbFileSink& operator=(const MctbFileSink&) = delete;
+
+  void append(const TraceRecord& rec) override { buffer_.append(rec); }
+  std::uint64_t count() const override { return buffer_.size(); }
+
+  /// Container bytes written (0 until close()).
+  std::uint64_t bytes() const override { return bytes_; }
+
+  /// Serialize + write the container (otherwise the destructor does, eating
+  /// errors; call close() to see them).
+  void close() override;
+
+ private:
+  std::string path_;
+  MctbOptions opts_;
+  TraceBuffer buffer_;
+  std::uint64_t bytes_ = 0;
+  bool closed_ = false;
+};
+
+/// Factory over the two file sinks; `codec` only applies to Mctb.
+std::unique_ptr<TraceSink> make_file_sink(TraceFormat format, const std::string& path,
+                                          const CodecChain& codec = MctbOptions{}.codec);
 
 }  // namespace ac::trace

@@ -1,7 +1,9 @@
 // Checkpoint codec layer: round-trip property tests for every codec and
 // chain over random / all-zero / all-distinct / empty / single-cell /
 // adversarial incompressible cell buffers, decode-side rejection of
-// truncated payloads and bad codec ids (CheckpointError, never UB), and the
+// truncated payloads and bad codec ids (CodecError from the shared layer in
+// support/codec.hpp, CheckpointError from the cell entry points — never UB),
+// and the
 // compression behavior each codec exists for (zero-run RLE, XOR-vs-base
 // zeroing, LZ pattern matching).
 #include <gtest/gtest.h>
@@ -143,29 +145,29 @@ TEST(CodecReject, TruncatedPayloadsThrow) {
 TEST(CodecReject, RleTruncatedTokens) {
   const Codec& rle = codec_for(CodecId::Rle);
   // Literal control byte promising 4 bytes, only 2 present.
-  EXPECT_THROW(rle.decode(std::string("\x03\x61\x62", 3), 1024, {}), CheckpointError);
+  EXPECT_THROW(rle.decode(std::string("\x03\x61\x62", 3), 1024, {}), CodecError);
   // Repeat control byte with no value byte.
-  EXPECT_THROW(rle.decode(std::string("\x85", 1), 1024, {}), CheckpointError);
+  EXPECT_THROW(rle.decode(std::string("\x85", 1), 1024, {}), CodecError);
   // Output cap enforced.
-  EXPECT_THROW(rle.decode(std::string("\xFF\x00", 2), 8, {}), CheckpointError);
+  EXPECT_THROW(rle.decode(std::string("\xFF\x00", 2), 8, {}), CodecError);
 }
 
 TEST(CodecReject, LzMalformedTokens) {
   const Codec& lz = codec_for(CodecId::Lz);
   // Match token referencing data before the start of the output.
-  EXPECT_THROW(lz.decode(std::string("\x80\x05\x00", 3), 1024, {}), CheckpointError);
+  EXPECT_THROW(lz.decode(std::string("\x80\x05\x00", 3), 1024, {}), CodecError);
   // Truncated match token (control byte only).
-  EXPECT_THROW(lz.decode(std::string("\x01\x61\x62\x80", 4), 1024, {}), CheckpointError);
+  EXPECT_THROW(lz.decode(std::string("\x01\x61\x62\x80", 4), 1024, {}), CodecError);
   // Zero distance is never valid.
-  EXPECT_THROW(lz.decode(std::string("\x01\x61\x62\x80\x00\x00", 6), 1024, {}), CheckpointError);
+  EXPECT_THROW(lz.decode(std::string("\x01\x61\x62\x80\x00\x00", 6), 1024, {}), CodecError);
 }
 
 TEST(CodecReject, BadCodecIdsThrow) {
   const std::uint8_t bad[] = {0, 2, 9};
-  EXPECT_THROW(CodecChain::from_ids(bad, 3), CheckpointError);
-  EXPECT_THROW(CodecChain::parse("zstd"), CheckpointError);
-  EXPECT_THROW(CodecChain::parse("xor+bogus"), CheckpointError);
-  EXPECT_THROW(codec_for(static_cast<CodecId>(200)), CheckpointError);
+  EXPECT_THROW(CodecChain::from_ids(bad, 3), CodecError);
+  EXPECT_THROW(CodecChain::parse("zstd"), CodecError);
+  EXPECT_THROW(CodecChain::parse("xor+bogus"), CodecError);
+  EXPECT_THROW(codec_for(static_cast<CodecId>(200)), CodecError);
 }
 
 TEST(CodecReject, DecodedSizeMismatchThrows) {

@@ -118,6 +118,30 @@ TEST(SessionParallel, ClassifyShardedDirectApi) {
   EXPECT_EQ(serial.all_mli, sharded.all_mli);
 }
 
+TEST(SessionParallel, ClassifyPipelinedBitIdenticalAcrossCorners) {
+  // The pipelined producer/consumer path (what Session actually runs) must be
+  // bit-identical to sequential and to the barrier path across the same
+  // corner matrix: small counts, clamp-triggering absurd counts, and the
+  // degenerate empty input.
+  auto run = test::run_pipeline(test::fig4_source());
+  const ClassifyResult serial = classify(run.report.dep, run.report.pre);
+  for (const int threads : {2, 3, 4, 7, 64, 257, 100000}) {
+    const ClassifyResult barrier = classify_sharded(run.report.dep, run.report.pre, threads);
+    const ClassifyResult pipelined =
+        classify_pipelined(run.report.dep, run.report.pre, threads);
+    EXPECT_EQ(serial.critical, pipelined.critical) << threads;
+    EXPECT_EQ(serial.all_mli, pipelined.all_mli) << threads;
+    EXPECT_EQ(barrier.critical, pipelined.critical) << threads;
+    EXPECT_EQ(barrier.all_mli, pipelined.all_mli) << threads;
+  }
+
+  const DepResult empty_dep;
+  const PreprocessResult empty_pre;
+  const ClassifyResult empty = classify_pipelined(empty_dep, empty_pre, 8);
+  EXPECT_TRUE(empty.critical.empty());
+  EXPECT_TRUE(empty.all_mli.empty());
+}
+
 TEST(SessionParallel, ThreadsExceedingVariableCountClampAndMatch) {
   // fig4 has 5 MLI variables; 64 (and an absurd 100000) worker requests must
   // clamp to the variable count and still produce bit-identical verdicts —

@@ -14,6 +14,8 @@
 // mode (--suggest included), and the output modes are ReportSinks.
 // --threads N > 1 parallelizes both the trace read (§V-A) and the sharded
 // classification stage; --parallel [n] is the historical alias.
+#include <sys/stat.h>
+
 #include <cctype>
 #include <cerrno>
 #include <climits>
@@ -27,7 +29,10 @@
 #include "analysis/session.hpp"
 #include "ckpt/codec.hpp"
 #include "support/error.hpp"
+#include "support/strings.hpp"
+#include "trace/mctb.hpp"
 #include "trace/source.hpp"
+#include "trace/writer.hpp"
 
 namespace {
 
@@ -37,6 +42,13 @@ int usage() {
                "                 [--threads <n> | --parallel [n]] [--paper-mli] [--dot <out.dot>]\n"
                "                 [--events <n>] [--json] [--emit-protect] [--ckpt-codec SPEC]\n"
                "       autocheck <trace-file> --suggest     # rank candidate main loops\n"
+               "       autocheck <trace-file> --recode <out> [--trace-format text|mctb]\n"
+               "                 [--trace-codec SPEC] [--threads <n>]\n"
+               "  input trace files may be LLVM-Tracer text or binary MCTB (auto-detected)\n"
+               "  --recode OUT        convert the trace to OUT in --trace-format (default\n"
+               "                      mctb) and print the size ratio\n"
+               "  --trace-codec SPEC  MCTB section codec chain: raw | rle | lz | rle+lz\n"
+               "                      (default rle+lz)\n"
                "  --ckpt-codec SPEC   checkpoint payload codec chain for the --emit-protect\n"
                "                      snippet: raw | rle | lz | xor+rle | chain (= xor+rle+lz)\n");
   return 2;
@@ -73,6 +85,9 @@ int main(int argc, char** argv) {
   bool json = false;
   bool emit_protect = false;
   std::string ckpt_codec;
+  std::string recode_path;
+  ac::trace::TraceFormat recode_format = ac::trace::TraceFormat::Mctb;
+  ac::trace::MctbOptions mctb_opts;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -108,6 +123,22 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--emit-protect") {
       emit_protect = true;
+    } else if (arg == "--recode") {
+      recode_path = next();
+    } else if (arg == "--trace-format") {
+      try {
+        recode_format = ac::trace::parse_trace_format(next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "autocheck: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--trace-codec") {
+      try {
+        mctb_opts.codec = ac::CodecChain::parse(next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "autocheck: %s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--ckpt-codec") {
       ckpt_codec = next();
       try {
@@ -127,6 +158,49 @@ int main(int argc, char** argv) {
     // happens exactly once.
     auto source = std::make_shared<ac::trace::FileSource>(trace_path);
     source->set_read_threads(opts.effective_read_threads());
+
+    if (!recode_path.empty()) {
+      // Trace conversion: materialize the interned buffer (text parse or MCTB
+      // decode, auto-detected) and serialize it back in the requested format.
+      const ac::trace::TraceBuffer& buf = source->buffer();
+      std::uint64_t out_bytes = 0;
+      if (recode_format == ac::trace::TraceFormat::Mctb) {
+        ac::trace::write_mctb_file(buf, recode_path, mctb_opts);
+        struct stat st{};
+        if (::stat(recode_path.c_str(), &st) == 0) {
+          out_bytes = static_cast<std::uint64_t>(st.st_size);
+        }
+      } else {
+        ac::trace::FileSink sink(recode_path);
+        // Stream record views through the sink's batch buffer; no owning
+        // TraceRecord representation of the trace is ever built.
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+          sink.append(buf.materialize(i));
+        }
+        sink.close();
+        out_bytes = sink.bytes();
+      }
+      struct stat in_st{};
+      const std::uint64_t in_bytes =
+          ::stat(trace_path.c_str(), &in_st) == 0 ? static_cast<std::uint64_t>(in_st.st_size)
+                                                  : 0;
+      std::printf("recoded %llu records: %s (%s, %s) -> %s (%s, %s)%s\n",
+                  static_cast<unsigned long long>(buf.size()), trace_path.c_str(),
+                  source->format(), ac::human_bytes(in_bytes).c_str(), recode_path.c_str(),
+                  ac::trace::trace_format_name(recode_format),
+                  ac::human_bytes(out_bytes).c_str(),
+                  in_bytes && out_bytes
+                      ? ac::strf(" (%.2fx %s)",
+                                 out_bytes < in_bytes
+                                     ? static_cast<double>(in_bytes) /
+                                           static_cast<double>(out_bytes)
+                                     : static_cast<double>(out_bytes) /
+                                           static_cast<double>(in_bytes),
+                                 out_bytes < in_bytes ? "smaller" : "larger")
+                            .c_str()
+                      : "");
+      return 0;
+    }
 
     if (suggest) {
       // The interned buffer feeds the suggestion scan directly — no owning
