@@ -27,6 +27,7 @@
 #include "ckpt/blcr.hpp"
 #include "ckpt/codec.hpp"
 #include "minic/compiler.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
@@ -208,17 +209,22 @@ int main(int argc, char** argv) {
     // peak_rss_kb is the process-wide high-water mark sampled after each app
     // (cumulative across the suite — one process runs all apps); the note
     // field records that so trajectory consumers don't read it as per-app.
-    std::string json = "{\n  \"bench\": \"engine\",\n";
-    json += "  \"peak_rss_note\": \"process high-water mark, cumulative across apps\",\n";
-    json += "  \"apps\": [\n";
-    for (std::size_t i = 0; i < json_rows.size(); ++i) {
-      const JsonRow& r = json_rows[i];
-      json += strf("    {\"app\": \"%s\", \"bytes\": %llu, \"wall_ns\": %.0f, "
-                   "\"peak_rss_kb\": %ld}%s\n",
-                   r.app.c_str(), (unsigned long long)r.bytes, r.wall_ns, r.peak_rss_kb,
-                   i + 1 < json_rows.size() ? "," : "");
+    std::string json;
+    JsonWriter w(&json);
+    w.begin_object();
+    w.field("bench", "engine");
+    w.field("peak_rss_note", "process high-water mark, cumulative across apps");
+    w.key("apps").begin_array();
+    for (const JsonRow& r : json_rows) {
+      w.begin_object();
+      w.field("app", r.app);
+      w.field("bytes", r.bytes);
+      w.raw_field("wall_ns", strf("%.0f", r.wall_ns));
+      w.field("peak_rss_kb", r.peak_rss_kb);
+      w.end_object();
     }
-    json += "  ]\n}\n";
+    w.end_array().end_object();
+    json += '\n';
     std::FILE* f = std::fopen(json_path.c_str(), "wb");
     if (!f) {
       std::fprintf(stderr, "bench_engine: cannot write %s\n", json_path.c_str());

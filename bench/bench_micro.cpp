@@ -14,7 +14,11 @@
 // --check   regression gate: the parse+classify speedup of the interned path
 //           over the legacy path (measured in this same process, so the
 //           number is machine-independent) must stay within 25% of the
-//           checked-in baseline's. Exit 1 on regression.
+//           checked-in baseline's. Also bounds the disabled-telemetry cost:
+//           per-span price x spans actually executed must stay <= 2% of the
+//           parse+classify wall. Exit 1 on regression.
+// --profile / --metrics  export the telemetry recorded while benchmarking
+//           (Chrome-trace JSON / metrics JSON).
 //
 // Verdicts are asserted bit-identical between the legacy-records path, the
 // buffer path, and the sharded buffer path on every measured app.
@@ -30,8 +34,10 @@
 #include "analysis/session.hpp"
 #include "apps/harness.hpp"
 #include "minic/compiler.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
 #include "support/timer.hpp"
 #include "trace/reader.hpp"
 #include "trace/source.hpp"
@@ -251,53 +257,63 @@ AppBench bench_app(const apps::App& app, const apps::Params& params, bool probe_
   return out;
 }
 
-std::string apps_json(const std::vector<AppBench>& results, const char* indent) {
-  std::string out;
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const AppBench& r = results[i];
-    out += indent;
-    out += strf(
-        "{\"app\": \"%s\", \"text_bytes\": %llu, \"records\": %llu, \"operands\": %llu,\n"
-        "%s \"legacy_parse_ns\": %.0f, \"buffer_parse_ns\": %.0f, \"parallel_parse_ns\": %.0f,\n"
-        "%s \"mctb_bytes\": %llu, \"mctb_write_ns\": %.0f, \"mctb_parse_ns\": %.0f,\n"
-        "%s \"mctb_parallel_parse_ns\": %.0f, \"speedup_mctb_parse\": %.3f,\n"
-        "%s \"legacy_analyze_ns\": %.0f, \"buffer_analyze_ns\": %.0f,\n"
-        "%s \"classify_ns\": %.0f, \"classify_sharded_ns\": %.0f, \"classify_pipelined_ns\": %.0f,\n"
-        "%s \"legacy_rep_bytes\": %llu, \"buffer_rep_bytes\": %llu,\n"
-        "%s \"peak_rss_legacy_kb\": %ld, \"peak_rss_buffer_kb\": %ld,\n"
-        "%s \"wall_ns\": %.0f, \"speedup_parse_classify\": %.3f}%s\n",
-        r.app.c_str(), (unsigned long long)r.text_bytes, (unsigned long long)r.records,
-        (unsigned long long)r.operands, indent, r.legacy_parse_s * 1e9, r.buffer_parse_s * 1e9,
-        r.parallel_parse_s * 1e9, indent, (unsigned long long)r.mctb_bytes,
-        r.mctb_write_s * 1e9, r.mctb_parse_s * 1e9, indent, r.mctb_parallel_parse_s * 1e9,
-        r.mctb_parse_speedup(), indent, r.legacy_analyze_s * 1e9, r.buffer_analyze_s * 1e9,
-        indent, r.classify_s * 1e9, r.classify_sharded_s * 1e9, r.classify_pipelined_s * 1e9,
-        indent, (unsigned long long)r.legacy_bytes, (unsigned long long)r.buffer_bytes, indent,
-        r.rss_legacy_kb, r.rss_buffer_kb, indent,
-        (r.buffer_parse_s + r.buffer_analyze_s) * 1e9, r.speedup(),
-        i + 1 < results.size() ? "," : "");
-  }
-  return out;
+void app_json(JsonWriter& w, const AppBench& r) {
+  // Nanosecond walls keep the historical "%.0f" BENCH number format; the
+  // same-process ratios stay "%.3f".
+  w.begin_object();
+  w.field("app", r.app);
+  w.field("text_bytes", r.text_bytes);
+  w.field("records", r.records);
+  w.field("operands", r.operands);
+  w.raw_field("legacy_parse_ns", strf("%.0f", r.legacy_parse_s * 1e9));
+  w.raw_field("buffer_parse_ns", strf("%.0f", r.buffer_parse_s * 1e9));
+  w.raw_field("parallel_parse_ns", strf("%.0f", r.parallel_parse_s * 1e9));
+  w.field("mctb_bytes", r.mctb_bytes);
+  w.raw_field("mctb_write_ns", strf("%.0f", r.mctb_write_s * 1e9));
+  w.raw_field("mctb_parse_ns", strf("%.0f", r.mctb_parse_s * 1e9));
+  w.raw_field("mctb_parallel_parse_ns", strf("%.0f", r.mctb_parallel_parse_s * 1e9));
+  w.raw_field("speedup_mctb_parse", strf("%.3f", r.mctb_parse_speedup()));
+  w.raw_field("legacy_analyze_ns", strf("%.0f", r.legacy_analyze_s * 1e9));
+  w.raw_field("buffer_analyze_ns", strf("%.0f", r.buffer_analyze_s * 1e9));
+  w.raw_field("classify_ns", strf("%.0f", r.classify_s * 1e9));
+  w.raw_field("classify_sharded_ns", strf("%.0f", r.classify_sharded_s * 1e9));
+  w.raw_field("classify_pipelined_ns", strf("%.0f", r.classify_pipelined_s * 1e9));
+  w.field("legacy_rep_bytes", r.legacy_bytes);
+  w.field("buffer_rep_bytes", r.buffer_bytes);
+  w.field("peak_rss_legacy_kb", r.rss_legacy_kb);
+  w.field("peak_rss_buffer_kb", r.rss_buffer_kb);
+  w.raw_field("wall_ns", strf("%.0f", (r.buffer_parse_s + r.buffer_analyze_s) * 1e9));
+  w.raw_field("speedup_parse_classify", strf("%.3f", r.speedup()));
+  w.end_object();
 }
 
 std::string to_json(const std::vector<std::pair<int, std::vector<AppBench>>>& groups) {
-  std::string out = "{\n  \"bench\": \"analysis\",\n";
+  std::string out;
+  JsonWriter w(&out);
+  w.begin_object();
+  w.field("bench", "analysis");
   if (groups.size() == 1) {
     // Single-scale mode keeps the historical shape (the --check baseline and
     // external consumers parse it).
-    out += strf("  \"scale\": %d,\n  \"apps\": [\n", groups[0].first);
-    out += apps_json(groups[0].second, "    ");
-    out += "  ]\n}\n";
-    return out;
+    w.field("scale", groups[0].first);
+    w.key("apps").begin_array();
+    for (const auto& r : groups[0].second) app_json(w, r);
+    w.end_array();
+  } else {
+    // --scale sweep: one entry per scale, tracking the linearity curve.
+    w.key("scales").begin_array();
+    for (const auto& [sc, results] : groups) {
+      w.begin_object();
+      w.field("scale", sc);
+      w.key("apps").begin_array();
+      for (const auto& r : results) app_json(w, r);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
   }
-  // --scale sweep: one entry per scale, tracking the linearity curve.
-  out += "  \"scales\": [\n";
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    out += strf("    {\"scale\": %d, \"apps\": [\n", groups[g].first);
-    out += apps_json(groups[g].second, "      ");
-    out += strf("    ]}%s\n", g + 1 < groups.size() ? "," : "");
-  }
-  out += "  ]\n}\n";
+  w.end_object();
+  out += '\n';
   return out;
 }
 
@@ -313,6 +329,64 @@ double baseline_speedup(const std::string& json, const std::string& app) {
   return std::atof(json.c_str() + kat + key.size());
 }
 
+/// Disabled-telemetry overhead gate: the documented contract is that with
+/// telemetry off every AC_SPAN costs one relaxed atomic load. This bounds the
+/// aggregate: (per-span disabled cost) x (spans the parse+classify path
+/// actually executes) must stay <= 2% of that path's wall time. Resets the
+/// process-wide telemetry state — run it after any --profile/--metrics export.
+bool telemetry_overhead_ok(const apps::App& app, const apps::Params& params) {
+  // Per-span disabled price on this machine, amortized over 1M probes. The
+  // empty asm keeps the loop from being collapsed around the dead span.
+  auto& tel = telemetry::telemetry();
+  tel.disable();
+  constexpr int kProbes = 1 << 20;
+  WallTimer probe;
+  for (int i = 0; i < kProbes; ++i) {
+    AC_SPAN("bench.overhead_probe");
+    asm volatile("" ::: "memory");
+  }
+  const double span_cost_s = probe.seconds() / kProbes;
+
+  // Trace once (untimed), then run the instrumented parse+classify path
+  // twice: enabled to count the spans it emits, disabled to time it.
+  trace::MemorySink sink;
+  const ir::Module module = minic::compile(app.source(params));
+  vm::RunOptions ropts;
+  ropts.sink = &sink;
+  vm::run_module(module, ropts);
+  std::string text;
+  for (const auto& r : sink.records()) text += r.to_text();
+  const analysis::MclRegion region = app.mcl();
+
+  const auto parse_classify = [&] {
+    trace::TraceBuffer buf = trace::read_trace_buffer_parallel(text, 4);
+    auto pre = analysis::preprocess(buf, region);
+    analysis::DepOptions dopts;
+    dopts.build_ddg = false;
+    auto dep = analysis::dep_analysis(buf, pre, region, dopts);
+    (void)analysis::classify_sharded(dep, pre, 4);
+  };
+
+  tel.reset();
+  tel.enable();
+  parse_classify();
+  tel.disable();
+  const std::uint64_t spans = tel.collect().size() + tel.dropped();
+  tel.reset();
+
+  WallTimer wall;
+  parse_classify();
+  const double base_s = wall.seconds();
+
+  const double overhead = base_s > 0 ? span_cost_s * (double)spans / base_s : 0;
+  const bool ok = overhead <= 0.02;
+  std::printf("check telemetry  disabled span %.1f ns x %llu spans / %.3fs parse+classify "
+              "= %.4f%% -> %s\n",
+              span_cost_s * 1e9, (unsigned long long)spans, base_s, overhead * 100,
+              ok ? "ok" : "OVER 2% BUDGET");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -320,6 +394,7 @@ int main(int argc, char** argv) {
   bool sweep = false;
   int scale = 1;
   std::string json_path, check_path, probe_mode, probe_trace;
+  std::string profile_path, metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -344,14 +419,19 @@ int main(int argc, char** argv) {
       probe_mode = next();
     } else if (arg == "--trace") {
       probe_trace = next();
+    } else if (arg == "--profile") {
+      profile_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
     } else {
       std::fprintf(stderr,
                    "usage: bench_micro [--smoke] [--scale N | --sweep] [--json PATH] "
-                   "[--check BASELINE]\n");
+                   "[--check BASELINE] [--profile TRACE.json] [--metrics METRICS.json]\n");
       return 2;
     }
   }
   if (!probe_mode.empty()) return rss_probe_main(probe_mode, probe_trace);
+  if (!profile_path.empty() || !metrics_path.empty()) telemetry::telemetry().enable();
   if (sweep && !check_path.empty()) {
     // The baseline is measured at a single scale; silently gating only one
     // sweep group would imply coverage the check doesn't have.
@@ -438,6 +518,16 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", json_path.c_str());
   }
 
+  // Export before --check: the overhead gate resets the telemetry state.
+  if (!profile_path.empty()) {
+    telemetry::telemetry().write_chrome_trace(profile_path);
+    std::printf("telemetry profile written to %s\n", profile_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    telemetry::metrics().write_json(metrics_path);
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+
   if (!check_path.empty()) {
     std::string baseline;
     try {
@@ -472,13 +562,27 @@ int main(int argc, char** argv) {
                   r.mctb_parse_speedup(), bad ? "TOO SLOW (< 2x)" : "ok");
       regressed = regressed || bad;
     }
+    // Telemetry overhead gate on the largest measured app (re-traced in the
+    // gate; safe here because the --profile/--metrics export already ran).
+    std::size_t biggest = 0;
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      if (results[i].text_bytes > results[biggest].text_bytes) biggest = i;
+    }
+    for (const auto& app : apps::registry()) {
+      if (app.name != results[biggest].app) continue;
+      const apps::Params base = smoke ? app.default_params : app.table2_params;
+      if (!telemetry_overhead_ok(app, app.scaled_params(base, groups[0].first))) {
+        regressed = true;
+      }
+    }
     if (regressed) {
-      std::printf("FAIL: parse+classify regressed >25%% against %s, or MCTB parse fell "
-                  "under 2x text parse\n", check_path.c_str());
+      std::printf("FAIL: parse+classify regressed >25%% against %s, MCTB parse fell "
+                  "under 2x text parse, or disabled telemetry cost exceeded 2%%\n",
+                  check_path.c_str());
       return 1;
     }
-    std::printf("parse+classify speedup within 25%% of baseline and MCTB parse >= 2x text "
-                "parse (%d app(s) checked)\n", checked);
+    std::printf("parse+classify speedup within 25%% of baseline, MCTB parse >= 2x text "
+                "parse, disabled telemetry <= 2%% (%d app(s) checked)\n", checked);
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "analysis/autocheck.hpp"
 
 #include "analysis/session.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
 
 namespace ac::analysis {
@@ -36,52 +37,54 @@ std::string Report::render() const {
   return out;
 }
 
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
-}  // namespace
-
 std::string Report::to_json() const {
-  std::string out = "{\n";
-  out += strf("  \"region\": {\"function\": \"%s\", \"begin_line\": %d, \"end_line\": %d},\n",
-              json_escape(region.function).c_str(), region.begin_line, region.end_line);
+  // Emitted through the shared JsonWriter: unlike the emitter this replaces,
+  // every symbol name and reason string gets full json_escape() treatment
+  // (control characters included, not just quote/backslash).
+  std::string out;
+  JsonWriter w(&out);
+  w.begin_object();
 
-  out += "  \"mli\": [";
-  for (std::size_t i = 0; i < pre.mli.size(); ++i) {
-    if (i) out += ", ";
-    out += "\"" + json_escape(pre.mli[i].name) + "\"";
+  w.key("region").begin_object();
+  w.field("function", region.function);
+  w.field("begin_line", region.begin_line);
+  w.field("end_line", region.end_line);
+  w.end_object();
+
+  w.key("mli").begin_array();
+  for (const auto& m : pre.mli) w.value(m.name);
+  w.end_array();
+
+  w.key("critical").begin_array();
+  for (const CriticalVar& cv : verdicts.critical) {
+    w.begin_object();
+    w.field("name", cv.name);
+    w.field("type", dep_type_name(cv.type));
+    w.field("decl_line", cv.decl_line);
+    w.field("bytes", cv.bytes);
+    w.field("reason", cv.reason);
+    w.end_object();
   }
-  out += "],\n";
+  w.end_array();
 
-  out += "  \"critical\": [\n";
-  for (std::size_t i = 0; i < verdicts.critical.size(); ++i) {
-    const CriticalVar& cv = verdicts.critical[i];
-    out += strf("    {\"name\": \"%s\", \"type\": \"%s\", \"decl_line\": %d, "
-                "\"bytes\": %llu, \"reason\": \"%s\"}%s\n",
-                json_escape(cv.name).c_str(), dep_type_name(cv.type), cv.decl_line,
-                static_cast<unsigned long long>(cv.bytes), json_escape(cv.reason).c_str(),
-                i + 1 < verdicts.critical.size() ? "," : "");
-  }
-  out += "  ],\n";
+  w.key("stats").begin_object();
+  w.field("records", pre.records_scanned);
+  w.field("iterations", dep.iterations);
+  w.field("stores", dep.stores_seen);
+  w.field("pointer_assignments", dep.pointer_assignments);
+  w.field("events", static_cast<std::uint64_t>(dep.events.size()));
+  w.end_object();
 
-  out += strf("  \"stats\": {\"records\": %llu, \"iterations\": %d, \"stores\": %llu, "
-              "\"pointer_assignments\": %llu, \"events\": %zu},\n",
-              static_cast<unsigned long long>(pre.records_scanned), dep.iterations,
-              static_cast<unsigned long long>(dep.stores_seen),
-              static_cast<unsigned long long>(dep.pointer_assignments), dep.events.size());
+  // Keep the historical fixed-point "%.6f" second format for timings.
+  w.key("timings").begin_object();
+  w.raw_field("preprocessing", strf("%.6f", timings.preprocessing));
+  w.raw_field("dep_analysis", strf("%.6f", timings.dep_analysis));
+  w.raw_field("identify", strf("%.6f", timings.identify));
+  w.raw_field("total", strf("%.6f", timings.total()));
+  w.end_object();
 
-  out += strf("  \"timings\": {\"preprocessing\": %.6f, \"dep_analysis\": %.6f, "
-              "\"identify\": %.6f, \"total\": %.6f}\n",
-              timings.preprocessing, timings.dep_analysis, timings.identify, timings.total());
-  out += "}\n";
+  w.end_object();
+  out += '\n';
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "support/telemetry.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -207,9 +208,19 @@ ClassifyResult assemble(const std::unordered_map<int, VarVerdict>& verdicts,
   return out;
 }
 
+/// Events delivered to a shard scanner (the serial scan counts as one shard).
+/// Summed across shards this equals the stream's event count exactly — the
+/// invariant the telemetry tests pin against ground truth.
+void note_shard_events(std::size_t n) {
+  static auto& c = telemetry::metrics().counter("classify.shard_events");
+  c.add(n);
+}
+
 }  // namespace
 
 ClassifyResult classify(const DepResult& dep, const PreprocessResult& pre) {
+  AC_SPAN("classify.scan");
+  note_shard_events(dep.events.size());
   return assemble(scan_events(dep.events.data(), dep.events.size()), dep, pre);
 }
 
@@ -303,11 +314,16 @@ ClassifyResult classify_sharded(const DepResult& dep, const PreprocessResult& pr
     for (std::size_t s = 0; s < nshards; ++s) {
       pool.emplace_back([&, s] {
         std::vector<AccessEvent>& mine = shards[s];
-        for (const AccessEvent& ev : dep.events) {
-          if (static_cast<std::size_t>(shard_of[static_cast<std::size_t>(ev.var)]) == s) {
-            mine.push_back(ev);
+        {
+          AC_SPAN("classify.extract");
+          for (const AccessEvent& ev : dep.events) {
+            if (static_cast<std::size_t>(shard_of[static_cast<std::size_t>(ev.var)]) == s) {
+              mine.push_back(ev);
+            }
           }
         }
+        AC_SPAN("classify.scan_shard");
+        note_shard_events(mine.size());
         partial[s] = scan_events(mine.data(), mine.size());
       });
     }
@@ -387,6 +403,7 @@ ClassifyResult classify_pipelined(const DepResult& dep, const PreprocessResult& 
   for (std::size_t t = 0; t < nextract; ++t) {
     extractors.emplace_back([&] {
       for (std::size_t c = next.fetch_add(1); c < nchunks; c = next.fetch_add(1)) {
+        AC_SPAN("classify.extract_chunk");
         const std::size_t begin = c * chunk;
         const std::size_t end = std::min(nevents, begin + chunk);
         std::vector<std::vector<AccessEvent>> local(nshards);
@@ -401,12 +418,14 @@ ClassifyResult classify_pipelined(const DepResult& dep, const PreprocessResult& 
         }
         // Deliver even after an error (possibly short slices): scanners must
         // never deadlock on a hole; the error aborts the result below.
+        static auto& depth = telemetry::metrics().gauge("classify.mailbox_depth");
         for (std::size_t s = 0; s < nshards; ++s) {
           {
             std::lock_guard<std::mutex> lock(boxes[s].mu);
             boxes[s].slices[c] = std::move(local[s]);
             boxes[s].ready[c] = 1;
           }
+          depth.add(1);  // delivered, not yet consumed (max = peak backlog)
           boxes[s].cv.notify_all();
         }
       }
@@ -418,8 +437,13 @@ ClassifyResult classify_pipelined(const DepResult& dep, const PreprocessResult& 
   for (std::size_t s = 0; s < nshards; ++s) {
     scanners.emplace_back([&, s] {
       try {
+        // The span covers mailbox waits too, so scanner stalls (extraction
+        // backpressure) are visible as long scan_shard spans in the profile.
+        AC_SPAN("classify.scan_shard");
+        static auto& depth = telemetry::metrics().gauge("classify.mailbox_depth");
         ShardScanner scan;
         Mailbox& box = boxes[s];
+        std::size_t events_seen = 0;
         for (std::size_t c = 0; c < nchunks; ++c) {
           std::vector<AccessEvent> slice;
           {
@@ -427,8 +451,11 @@ ClassifyResult classify_pipelined(const DepResult& dep, const PreprocessResult& 
             box.cv.wait(lock, [&] { return box.ready[c] != 0; });
             slice = std::move(box.slices[c]);
           }
+          depth.add(-1);
+          events_seen += slice.size();
           scan.add(slice.data(), slice.size());
         }
+        note_shard_events(events_seen);
         partial[s] = scan.finish();
       } catch (const std::exception& e) {
         record_error(e.what());

@@ -7,6 +7,7 @@
 #include "ckpt/engine.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "support/telemetry.hpp"
 #include "support/timer.hpp"
 
 namespace ac::analysis {
@@ -177,6 +178,9 @@ Report Session::run() {
   AC_CHECK(source_ != nullptr, "Session: no trace source configured");
   AC_CHECK(region_.begin_line > 0 && region_.end_line >= region_.begin_line,
            "Session: invalid MCL region (set region() or region_from_markers())");
+  // Left enabled after the run so the caller can export what was recorded.
+  if (opts_.telemetry) telemetry::telemetry().enable();
+  AC_SPAN("analysis.session");
   source_->set_read_threads(opts_.effective_read_threads());
 
   Report report = source_->live() ? run_live() : run_batch();
@@ -196,15 +200,21 @@ Report Session::run_batch() {
   const trace::TraceBuffer& buf = source_->buffer();
 
   WallTimer timer;
-  report.pre = preprocess(buf, region_, opts_.mli_mode);
+  {
+    AC_SPAN("analysis.preprocess");
+    report.pre = preprocess(buf, region_, opts_.mli_mode);
+  }
   // Trace parsing is attributed to pre-processing (it dominates, as the
   // paper observes); in-memory sources contribute zero.
   report.timings.preprocessing = source_->read_seconds() + timer.seconds();
 
   timer.reset();
-  DepOptions dep_opts;
-  dep_opts.build_ddg = opts_.build_ddg;
-  report.dep = dep_analysis(buf, report.pre, region_, dep_opts);
+  {
+    AC_SPAN("analysis.dep");
+    DepOptions dep_opts;
+    dep_opts.build_ddg = opts_.build_ddg;
+    report.dep = dep_analysis(buf, report.pre, region_, dep_opts);
+  }
   report.timings.dep_analysis = timer.seconds();
 
   timer.reset();

@@ -59,6 +59,12 @@ struct AnalysisOptions {
   int read_threads = 0;
   int analysis_threads = 0;
 
+  /// Enable the process-wide telemetry layer (support/telemetry.hpp) for this
+  /// run: Session::run() turns span recording on before the pipeline and
+  /// leaves it on so the caller can export (--profile/--metrics). Off, every
+  /// AC_SPAN in the pipeline is a single relaxed atomic load.
+  bool telemetry = false;
+
   int effective_read_threads() const { return read_threads > 0 ? read_threads : threads; }
   int effective_analysis_threads() const {
     return analysis_threads > 0 ? analysis_threads : threads;

@@ -17,6 +17,8 @@
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "support/telemetry.hpp"
+#include "trace/mctb.hpp"
 
 namespace {
 
@@ -43,6 +45,12 @@ int usage() {
                "                       (= xor+rle+lz); per level: l1=rle,l3=chain\n"
                "  --policy P           fixed:N | young:MTBF_S | daly:MTBF_S (default fixed:1)\n"
                "  --interval N         legacy path: checkpoint every N iterations\n"
+               "  --profile OUT.json   record telemetry spans, write a Chrome trace-event\n"
+               "                       profile (load in chrome://tracing or Perfetto); with\n"
+               "                       --analyze, runs the full profiled pipeline (parse,\n"
+               "                       codec, classify, checkpoint) instead of the verdict\n"
+               "                       identity table\n"
+               "  --metrics OUT.json   write the flat metrics registry JSON\n"
                "apps: all");
   for (const auto& app : ac::apps::registry()) std::fprintf(stderr, ", %s", app.name.c_str());
   std::fprintf(stderr, "\n");
@@ -185,6 +193,83 @@ int run_analyze_file(const std::vector<ac::apps::App>& apps, int scale, int thre
   return 0;
 }
 
+/// The `--analyze --profile/--metrics` flow: one end-to-end pass per app that
+/// exercises every instrumented layer — VM trace generation, text-trace file
+/// parse (serial or parallel), MCTB encode + decode, threaded classification,
+/// and an engine-backed C/R round — then exports whatever the span rings and
+/// the registry recorded. Unlike run_analyze, this path optimizes for profile
+/// coverage, not for the verdict-identity table.
+int run_profile(const std::vector<ac::apps::App>& apps, int scale, int threads,
+                const ac::ckpt::EngineConfig& cfg, int fail_at) {
+  namespace tel = ac::telemetry;
+  tel::telemetry().enable();
+  tel::telemetry().reset();
+  tel::metrics().reset();
+
+  std::printf("=== profiled pipeline: --scale %d, %d worker(s) ===\n\n", scale, threads);
+  for (const auto& app : apps) {
+    const ac::apps::Params params = app.scaled_params(app.table2_params, scale);
+    ac::analysis::AnalysisOptions opts;
+    opts.build_ddg = false;
+    opts.threads = threads;
+    opts.telemetry = true;
+
+    // VM trace -> text file -> (parallel) parse -> threaded classify.
+    const std::string text_path = "/tmp/ac_profile_" + app.name + ".text";
+    const ac::apps::FileAnalysisRun text_run = ac::apps::analyze_app_via_file(
+        app, params, text_path, opts, ac::trace::TraceFormat::Text);
+
+    // Same trace through the binary container: MCTB encode + chunked decode.
+    const std::string mctb_path = "/tmp/ac_profile_" + app.name + ".mctb";
+    {
+      ac::trace::FileSource text_source(text_path);
+      text_source.set_read_threads(threads);
+      ac::trace::write_mctb_file(text_source.buffer(), mctb_path);
+    }
+    ac::analysis::Session mctb_session;
+    mctb_session.file(mctb_path).region(app.mcl()).options(opts);
+    const ac::analysis::Report mctb_report = mctb_session.run();
+    std::remove(text_path.c_str());
+    std::remove(mctb_path.c_str());
+    const bool match = text_run.report.verdicts.critical == mctb_report.verdicts.critical;
+
+    // Engine-backed C/R round for the ckpt.* spans and registry counters.
+    const ac::apps::AnalysisRun base = ac::apps::analyze_app(app, params, opts);
+    ac::ckpt::EngineConfig app_cfg = cfg;
+    app_cfg.tag = app.name + "_profile";
+    const ac::apps::EngineRunResult engine_run = ac::apps::run_with_engine(
+        base.module, base.region, base.report.critical_names(), app_cfg, fail_at);
+
+    std::printf("%s: %llu records, %zu critical, %lld checkpoint(s), verdicts %s\n",
+                app.name.c_str(), static_cast<unsigned long long>(text_run.trace_records),
+                base.report.verdicts.critical.size(),
+                static_cast<long long>(engine_run.stats.checkpoints),
+                match ? "MATCH" : "DIVERGED");
+    if (!match) return 1;
+  }
+  std::printf("\n--- span summary ---\n%s\n--- metrics ---\n%s",
+              tel::telemetry().summary().c_str(), tel::metrics().summary().c_str());
+  return 0;
+}
+
+/// Export --profile/--metrics output files; exits loudly on I/O failure.
+int export_telemetry(const std::string& profile_path, const std::string& metrics_path) {
+  try {
+    if (!profile_path.empty()) {
+      ac::telemetry::telemetry().write_chrome_trace(profile_path);
+      std::printf("telemetry profile written to %s\n", profile_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      ac::telemetry::metrics().write_json(metrics_path);
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "harness: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,6 +284,8 @@ int main(int argc, char** argv) {
   int threads = 4;
   int fail_at = 5;
   int interval = 1;
+  std::string profile_path;
+  std::string metrics_path;
   ac::ckpt::EngineConfig cfg;
   cfg.dir = "/tmp";
 
@@ -267,6 +354,10 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--interval") {
       interval = std::atoi(next());
+    } else if (arg == "--profile") {
+      profile_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return usage();
@@ -292,9 +383,19 @@ int main(int argc, char** argv) {
     return usage();
   }
 
+  const bool profiling = !profile_path.empty() || !metrics_path.empty();
+  if (profiling) ac::telemetry::telemetry().enable();
+
   if (analyze) {
-    return have_trace_format ? run_analyze_file(apps, scale, threads, trace_format)
+    int rc;
+    if (profiling) {
+      rc = run_profile(apps, scale, threads, cfg, fail_at);
+    } else {
+      rc = have_trace_format ? run_analyze_file(apps, scale, threads, trace_format)
                              : run_analyze(apps, scale, threads);
+    }
+    const int export_rc = export_telemetry(profile_path, metrics_path);
+    return rc ? rc : export_rc;
   }
   if (have_trace_format) {
     std::fprintf(stderr, "harness: --trace-format requires --analyze\n");
@@ -354,10 +455,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s\n", table.render().c_str());
+  const int export_rc = export_telemetry(profile_path, metrics_path);
   if (failures) {
     std::printf("%d app(s) FAILED to recover\n", failures);
     return 1;
   }
   std::printf("all %zu app(s) recovered to the failure-free output\n", apps.size());
-  return 0;
+  return export_rc;
 }

@@ -9,6 +9,7 @@
 #include "support/crc32.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "support/telemetry.hpp"
 #include "vm/memory.hpp"
 
 namespace ac::ckpt {
@@ -479,6 +480,7 @@ std::vector<std::string> CheckpointEngine::names_from_json(const std::string& js
 
 EngineRecord CheckpointEngine::capture(std::int64_t iter, vm::Arena& arena,
                                        const std::vector<ProtectedRegion>& regions) {
+  AC_SPAN("ckpt.capture");
   EngineRecord rec;
   rec.iteration = iter;
 
@@ -560,6 +562,12 @@ bool CheckpointEngine::on_iteration(std::int64_t completed_iter, vm::Arena& aren
     }
     stats_.full_equiv_bytes += full_equiv;
   }
+  {
+    // Registry mirror of the capture-side EngineStats (the struct stays the
+    // programmatic API; the registry feeds --metrics and the acd daemon).
+    static auto& ckpts = telemetry::metrics().counter("ckpt.checkpoints");
+    ckpts.add(1);
+  }
 
   commit(std::move(rec));
   cfg_.policy->observe_checkpoint(cost.seconds());
@@ -575,16 +583,20 @@ void CheckpointEngine::commit(EngineRecord rec) {
     persist(rec);
     return;
   }
+  static auto& depth = telemetry::metrics().gauge("ckpt.queue_depth");
+  static auto& stalls = telemetry::metrics().counter("ckpt.async_stalls");
   std::unique_lock<std::mutex> lock(mu_);
   check_writer_error();
   // Double buffering: one record being written + one queued. A third capture
   // stalls the VM until the writer frees a slot.
   if (!queue_.empty()) {
     ++stats_.async_stalls;
+    stalls.add(1);
     cv_.wait(lock, [this] { return queue_.empty() || writer_error_; });
     check_writer_error();
   }
   queue_.push_back(std::move(rec));
+  depth.set(static_cast<std::int64_t>(queue_.size()));
   cv_.notify_all();
 }
 
@@ -597,6 +609,8 @@ void CheckpointEngine::writer_loop() {
       if (queue_.empty()) return;  // stop_ with nothing pending
       rec = std::move(queue_.front());
       queue_.pop_front();
+      static auto& depth = telemetry::metrics().gauge("ckpt.queue_depth");
+      depth.set(static_cast<std::int64_t>(queue_.size()));
       writing_ = true;
     }
     // The slot freed at pop time: wake a stalled producer now, not after the
@@ -618,9 +632,13 @@ void CheckpointEngine::writer_loop() {
 }
 
 void CheckpointEngine::persist(const EngineRecord& rec) {
+  AC_SPAN("ckpt.writeback");
   const CheckpointImage* xor_base = rec.xor_base.get();
   EncodedSizes l1_sizes;
-  const std::string bytes = rec.to_bytes(cfg_.l1_codec, xor_base, &l1_sizes);
+  const std::string bytes = [&] {
+    AC_SPAN("ckpt.encode");
+    return rec.to_bytes(cfg_.l1_codec, xor_base, &l1_sizes);
+  }();
   const bool full = rec.kind == EngineRecord::Kind::Full;
 
   // L1: atomic replace for the base; deltas are fresh files (their chain is
@@ -683,6 +701,23 @@ void CheckpointEngine::persist(const EngineRecord& rec) {
     if (cfg_.level >= EngineLevel::L2) stats_.l2_bytes += l2_size;
     if (cfg_.level >= EngineLevel::L3) stats_.l3_bytes += l3_size + 8;
     stats_.last_persisted_iteration = std::max(stats_.last_persisted_iteration, rec.iteration);
+  }
+  // Registry mirrors of the writer-side byte counters.
+  static auto& l1 = telemetry::metrics().counter("ckpt.l1_bytes");
+  static auto& l1d = telemetry::metrics().counter("ckpt.l1_delta_bytes");
+  static auto& raw = telemetry::metrics().counter("ckpt.payload_raw_bytes");
+  static auto& enc = telemetry::metrics().counter("ckpt.payload_encoded_bytes");
+  l1.add(bytes.size());
+  if (!full) l1d.add(bytes.size());
+  raw.add(l1_sizes.raw);
+  enc.add(l1_sizes.encoded);
+  if (cfg_.level >= EngineLevel::L2) {
+    static auto& l2 = telemetry::metrics().counter("ckpt.l2_bytes");
+    l2.add(l2_size);
+  }
+  if (cfg_.level >= EngineLevel::L3) {
+    static auto& l3 = telemetry::metrics().counter("ckpt.l3_bytes");
+    l3.add(l3_size + 8);
   }
 }
 

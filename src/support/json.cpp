@@ -1,0 +1,127 @@
+#include "support/json.hpp"
+
+#include "support/strings.hpp"
+
+namespace ac {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  out_->push_back('\n');
+  out_->append(stack_.size() * 2, ' ');
+}
+
+void JsonWriter::pre_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;  // the document root
+  if (!first_.back()) out_->push_back(',');
+  first_.back() = 0;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_->push_back('{');
+  stack_.push_back('o');
+  first_.push_back(1);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_->push_back('[');
+  stack_.push_back('a');
+  first_.push_back(1);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool empty = first_.back();
+  stack_.pop_back();
+  first_.pop_back();
+  if (!empty) newline_indent();
+  out_->push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool empty = first_.back();
+  stack_.pop_back();
+  first_.pop_back();
+  if (!empty) newline_indent();
+  out_->push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  pre_value();
+  out_->push_back('"');
+  *out_ += json_escape(k);
+  *out_ += "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  pre_value();
+  out_->push_back('"');
+  *out_ += json_escape(v);
+  out_->push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  *out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  *out_ += strf("%.6f", v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  *out_ += strf("%lld", static_cast<long long>(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  *out_ += strf("%llu", static_cast<unsigned long long>(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw_value(std::string_view text) {
+  pre_value();
+  *out_ += text;
+  return *this;
+}
+
+}  // namespace ac

@@ -1,0 +1,71 @@
+// The one JSON emission helper. Three hand-rolled emitters grew around the
+// benches and the report sinks, each with its own (incomplete) escaping;
+// every JSON the project writes now goes through json_escape()/JsonWriter so
+// symbol names containing quotes, backslashes or control characters cannot
+// corrupt a report, a BENCH trajectory file or a telemetry export.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ac {
+
+/// Escape `s` for inclusion inside a JSON string literal: quotes and
+/// backslashes are backslash-escaped, control characters become \n/\t/\r or
+/// \u00XX. (The old per-emitter escapers only handled quote + backslash.)
+std::string json_escape(std::string_view s);
+
+/// Minimal streaming JSON writer: explicit begin/end structure, automatic
+/// commas and two-space indentation, every string routed through
+/// json_escape(). Emits `"key": value` (space after the colon), the shape the
+/// checked-in BENCH baselines and their minimal scanners already parse.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or a begin_*().
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(long long v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned long long v) { return value(static_cast<std::uint64_t>(v)); }
+
+  /// Pre-formatted number/literal emitted verbatim (e.g. "%.0f" nanoseconds —
+  /// the historical BENCH number format).
+  JsonWriter& raw_value(std::string_view text);
+
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+  JsonWriter& raw_field(std::string_view k, std::string_view text) {
+    key(k);
+    return raw_value(text);
+  }
+
+ private:
+  void pre_value();
+  void newline_indent();
+
+  std::string* out_;
+  std::vector<char> stack_;    // 'o' / 'a' nesting
+  std::vector<char> first_;    // first element flag per nesting level
+  bool after_key_ = false;
+};
+
+}  // namespace ac

@@ -1,9 +1,22 @@
-// Wall-clock timer for the Table III cost breakdown.
+// The single timing helper: every timestamp in the project — bench wall
+// times, the Table III cost breakdown, telemetry span stamps — comes from the
+// steady clock through WallTimer or now_ns(). Never time with system_clock or
+// gettimeofday: those jump under NTP and break duration math.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace ac {
+
+/// Monotonic nanoseconds since an arbitrary epoch (steady_clock). Timestamps
+/// are comparable within one process run only.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 class WallTimer {
  public:

@@ -10,6 +10,8 @@
 #include "support/crc32.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "support/telemetry.hpp"
+#include "support/timer.hpp"
 #include "trace/opcode.hpp"
 
 namespace ac::trace {
@@ -291,6 +293,8 @@ void decode_operand_chunk(std::string_view raw, const SectionHeader& sec,
 }
 
 std::string decode_payload(std::string_view bytes, const SectionHeader& sec, const char* what) {
+  AC_SPAN("codec.decode_section");
+  const std::uint64_t t0 = now_ns();
   if (sec.payload_off > bytes.size() || sec.payload_size > bytes.size() - sec.payload_off) {
     throw TraceFormatError(strf("MCTB %s section payload [%llu, +%llu) exceeds the %zu-byte "
                                 "container", what,
@@ -304,7 +308,12 @@ std::string decode_payload(std::string_view bytes, const SectionHeader& sec, con
     throw TraceFormatError(strf("MCTB %s section CRC mismatch (chunk %u)", what, sec.chunk));
   }
   try {
-    return sec.codec.decode(payload, static_cast<std::size_t>(sec.raw_size));
+    std::string raw = sec.codec.decode(payload, static_cast<std::size_t>(sec.raw_size));
+    static auto& decoded = telemetry::metrics().counter("decode.bytes_decoded");
+    static auto& ns = telemetry::metrics().histogram("codec.decode_ns");
+    decoded.add(raw.size());
+    ns.observe(now_ns() - t0);
+    return raw;
   } catch (const CodecError& e) {
     throw TraceFormatError(strf("MCTB %s section (chunk %u): %s", what, sec.chunk, e.what()));
   }
@@ -339,7 +348,17 @@ std::string mctb_to_bytes(const TraceBuffer& buf, const MctbOptions& opts) {
     s.aux = aux;
     s.raw_size = raw.size();
     s.codec = opts.codec;
-    payloads.push_back(opts.codec.encode(raw));
+    {
+      AC_SPAN("codec.encode_section");
+      const std::uint64_t t0 = now_ns();
+      payloads.push_back(opts.codec.encode(raw));
+      static auto& raw_b = telemetry::metrics().counter("codec.raw_bytes");
+      static auto& enc_b = telemetry::metrics().counter("codec.encoded_bytes");
+      static auto& ns = telemetry::metrics().histogram("codec.encode_ns");
+      raw_b.add(raw.size());
+      enc_b.add(payloads.back().size());
+      ns.observe(now_ns() - t0);
+    }
     s.payload_size = payloads.back().size();
     s.payload_crc = crc32(payloads.back().data(), payloads.back().size());
     headers.push_back(std::move(s));
@@ -512,6 +531,7 @@ TraceBuffer read_mctb(std::string_view bytes, int num_threads, const ParseProgre
   // Symbols decode serially (every chunk needs the pool). Size and layout
   // were validated against the header above, before any decode allocation.
   {
+    AC_SPAN("decode.symbols");
     const std::string raw = decode_payload(bytes, symbols, "symbol");
     std::vector<std::uint32_t> lens(symbol_count);
     unshuffle_planes(std::string_view(raw).substr(0, symbol_count * 4), symbol_count, 4,
@@ -538,6 +558,7 @@ TraceBuffer read_mctb(std::string_view bytes, int num_threads, const ParseProgre
   buf.operands().resize(static_cast<std::size_t>(operand_count));
 
   const auto decode_chunk = [&](std::uint32_t c) {
+    AC_SPAN("decode.chunk");
     // Sizes were validated against the element counts up front; the codec
     // chain enforces the exact raw size on decode.
     const std::string rec_raw = decode_payload(bytes, rec_secs[c], "record");
@@ -545,6 +566,8 @@ TraceBuffer read_mctb(std::string_view bytes, int num_threads, const ParseProgre
     decode_record_chunk(rec_raw, rec_secs[c], record_base[c], rec_secs[c].aux,
                         op_secs[c].count, buf);
     decode_operand_chunk(op_raw, op_secs[c], rec_secs[c].aux, buf);
+    static auto& recs = telemetry::metrics().counter("decode.records_decoded");
+    recs.add(rec_secs[c].count);
   };
 
   int threads = num_threads > 0 ? num_threads : static_cast<int>(std::thread::hardware_concurrency());

@@ -13,6 +13,7 @@
 
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "support/telemetry.hpp"
 
 namespace ac::trace {
 
@@ -199,16 +200,28 @@ std::vector<std::pair<std::size_t, std::size_t>> chunk_at_block_boundaries(
   return chunks;
 }
 
+/// Bulk per-chunk metric update — the record loop itself stays untouched.
+void note_chunk_parsed(std::size_t records, std::size_t bytes) {
+  static auto& recs = telemetry::metrics().counter("parse.records_parsed");
+  static auto& bs = telemetry::metrics().counter("parse.bytes_parsed");
+  static auto& chunks = telemetry::metrics().counter("parse.chunks");
+  recs.add(records);
+  bs.add(bytes);
+  chunks.add(1);
+}
+
 }  // namespace
 
 TraceBuffer read_trace_buffer(std::string_view text, const ParseProgress& progress) {
   TraceBuffer buf;
   constexpr std::size_t kSegment = 8u << 20;
   if (text.size() <= kSegment) {
+    AC_SPAN("parse.chunk");
     // Records average ~70 text bytes; a mild underestimate keeps the final
     // capacity close to the size without a counting pre-pass.
     buf.reserve(text.size() / 96 + 1, text.size() / 32 + 1);
     parse_text_into(text, buf);
+    note_chunk_parsed(buf.size(), text.size());
     if (progress) progress(0, text.size());
     return buf;
   }
@@ -217,7 +230,10 @@ TraceBuffer read_trace_buffer(std::string_view text, const ParseProgress& progre
   // the rest, releasing consumed input pages as we go.
   const auto chunks = chunk_at_block_boundaries(text, kSegment);
   for (std::size_t c = 0; c < chunks.size(); ++c) {
+    AC_SPAN("parse.chunk");
+    const std::size_t before = buf.size();
     parse_text_into(text.substr(chunks[c].first, chunks[c].second - chunks[c].first), buf);
+    note_chunk_parsed(buf.size() - before, chunks[c].second - chunks[c].first);
     if (c == 0) {
       const double scale =
           static_cast<double>(text.size()) / static_cast<double>(chunks[0].second) * 1.05;
@@ -269,8 +285,13 @@ TraceBuffer read_trace_buffer_parallel(std::string_view text, int num_threads,
         try {
           const std::string_view sub =
               text.substr(chunks[c].first, chunks[c].second - chunks[c].first);
-          partial[c].reserve(sub.size() / 96 + 1, sub.size() / 32 + 1);
-          parse_text_into(sub, partial[c]);
+          {
+            AC_SPAN("parse.chunk");
+            partial[c].reserve(sub.size() / 96 + 1, sub.size() / 32 + 1);
+            parse_text_into(sub, partial[c]);
+            note_chunk_parsed(partial[c].size(), sub.size());
+          }
+          AC_SPAN("parse.merge");
           remaps[c] = out.pool().merge(partial[c].pool());
         } catch (const std::exception& e) {
           std::lock_guard<std::mutex> lock(mu);
@@ -311,9 +332,12 @@ TraceBuffer read_trace_buffer_parallel(std::string_view text, int num_threads,
     const auto grow = [](auto& vec, std::size_t need) {
       if (need > vec.capacity()) vec.reserve(std::max(need, vec.capacity() + vec.capacity() / 2));
     };
-    grow(out.records(), out.records().size() + partial[c].records().size());
-    grow(out.operands(), out.operands().size() + partial[c].operands().size());
-    out.append_remapped(partial[c], remaps[c]);
+    {
+      AC_SPAN("parse.splice");
+      grow(out.records(), out.records().size() + partial[c].records().size());
+      grow(out.operands(), out.operands().size() + partial[c].operands().size());
+      out.append_remapped(partial[c], remaps[c]);
+    }
     partial[c] = TraceBuffer();  // release chunk memory as it is consumed
     if (progress) progress(chunks[c].first, chunks[c].second);
   }

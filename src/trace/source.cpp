@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "support/error.hpp"
+#include "support/telemetry.hpp"
 #include "support/timer.hpp"
 #include "trace/mctb.hpp"
 #include "trace/reader.hpp"
@@ -88,10 +89,16 @@ FileSource::FileSource(std::string path, int read_threads)
 
 const TraceBuffer& FileSource::buffer() {
   if (loaded_) return buffer_;
+  AC_SPAN("parse.file");
   WallTimer timer;
   const MappedFile file(path_);
+  // ParseProgress drives two things: mmap page release of consumed input, and
+  // the `parse.bytes_consumed` gauge so a long read is observable in flight.
+  // set_max because the MCTB parallel decode reports chunks out of order.
   const ParseProgress release = [&file](std::size_t begin, std::size_t end) {
     file.release(begin, end);
+    static auto& consumed = telemetry::metrics().gauge("parse.bytes_consumed");
+    consumed.set_max(static_cast<std::int64_t>(end));
   };
   if (is_mctb(file.view())) {
     // Binary container: a validated chunked read instead of text decoding.

@@ -5,6 +5,7 @@
 
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "support/telemetry.hpp"
 
 namespace ac::vm {
 
@@ -584,6 +585,9 @@ void Interpreter::on_header_evaluation() {
 // ---------------------------------------------------------------------------
 
 RunResult Interpreter::run(const RunOptions& opts) {
+  // One coarse span per run plus a bulk instruction-counter update at the
+  // end — the dispatch loop itself stays free of instrumentation.
+  AC_SPAN("vm.run");
   opts_ = &opts;
   result_ = RunResult{};
   const ir::Function* main_fn = module_.find_function("main");
@@ -620,6 +624,8 @@ RunResult Interpreter::run(const RunOptions& opts) {
     result_.iterations_started = fs.iteration - 1;
   }
   result_.peak_memory = std::max(result_.peak_memory, arena_.peak_bytes());
+  static auto& instrs = telemetry::metrics().counter("vm.instructions");
+  instrs.add(result_.steps);
   return result_;
 }
 

@@ -30,6 +30,7 @@
 #include "ckpt/codec.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "support/telemetry.hpp"
 #include "trace/mctb.hpp"
 #include "trace/source.hpp"
 #include "trace/writer.hpp"
@@ -50,7 +51,10 @@ int usage() {
                "  --trace-codec SPEC  MCTB section codec chain: raw | rle | lz | rle+lz\n"
                "                      (default rle+lz)\n"
                "  --ckpt-codec SPEC   checkpoint payload codec chain for the --emit-protect\n"
-               "                      snippet: raw | rle | lz | xor+rle | chain (= xor+rle+lz)\n");
+               "                      snippet: raw | rle | lz | xor+rle | chain (= xor+rle+lz)\n"
+               "  --profile OUT.json  record telemetry spans and write a Chrome trace-event\n"
+               "                      profile (chrome://tracing / Perfetto)\n"
+               "  --metrics OUT.json  write the flat metrics registry JSON\n");
   return 2;
 }
 
@@ -86,6 +90,8 @@ int main(int argc, char** argv) {
   bool emit_protect = false;
   std::string ckpt_codec;
   std::string recode_path;
+  std::string profile_path;
+  std::string metrics_path;
   ac::trace::TraceFormat recode_format = ac::trace::TraceFormat::Mctb;
   ac::trace::MctbOptions mctb_opts;
 
@@ -139,6 +145,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "autocheck: %s\n", e.what());
         return 2;
       }
+    } else if (arg == "--profile") {
+      profile_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
     } else if (arg == "--ckpt-codec") {
       ckpt_codec = next();
       try {
@@ -152,6 +162,21 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
+
+  if (!profile_path.empty() || !metrics_path.empty()) {
+    opts.telemetry = true;
+    ac::telemetry::telemetry().enable();
+  }
+  const auto export_telemetry = [&] {
+    if (!profile_path.empty()) {
+      ac::telemetry::telemetry().write_chrome_trace(profile_path);
+      std::fprintf(stderr, "telemetry profile written to %s\n", profile_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      ac::telemetry::metrics().write_json(metrics_path);
+      std::fprintf(stderr, "metrics written to %s\n", metrics_path.c_str());
+    }
+  };
 
   try {
     // One source serves every mode; the read (serial or parallel mmap parse)
@@ -199,6 +224,7 @@ int main(int argc, char** argv) {
                                  out_bytes < in_bytes ? "smaller" : "larger")
                             .c_str()
                       : "");
+      export_telemetry();
       return 0;
     }
 
@@ -207,6 +233,7 @@ int main(int argc, char** argv) {
       // TraceRecord materialization for --suggest either.
       const auto candidates = ac::analysis::suggest_loops(source->buffer());
       std::printf("%s", ac::analysis::render_suggestions(candidates).c_str());
+      export_telemetry();
       return 0;
     }
     if (region.begin_line <= 0 || region.end_line < region.begin_line) return usage();
@@ -232,6 +259,7 @@ int main(int argc, char** argv) {
     if (!dot_path.empty()) {
       std::printf("contracted DDG written to %s\n", dot_path.c_str());
     }
+    export_telemetry();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "autocheck: %s\n", e.what());
     return 1;
