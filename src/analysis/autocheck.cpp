@@ -37,7 +37,7 @@ std::string Report::render() const {
   return out;
 }
 
-std::string Report::to_json() const {
+std::string Report::to_json(bool with_timings) const {
   // Emitted through the shared JsonWriter: unlike the emitter this replaces,
   // every symbol name and reason string gets full json_escape() treatment
   // (control characters included, not just quote/backslash).
@@ -75,13 +75,15 @@ std::string Report::to_json() const {
   w.field("events", static_cast<std::uint64_t>(dep.events.size()));
   w.end_object();
 
-  // Keep the historical fixed-point "%.6f" second format for timings.
-  w.key("timings").begin_object();
-  w.raw_field("preprocessing", strf("%.6f", timings.preprocessing));
-  w.raw_field("dep_analysis", strf("%.6f", timings.dep_analysis));
-  w.raw_field("identify", strf("%.6f", timings.identify));
-  w.raw_field("total", strf("%.6f", timings.total()));
-  w.end_object();
+  if (with_timings) {
+    // Keep the historical fixed-point "%.6f" second format for timings.
+    w.key("timings").begin_object();
+    w.raw_field("preprocessing", strf("%.6f", timings.preprocessing));
+    w.raw_field("dep_analysis", strf("%.6f", timings.dep_analysis));
+    w.raw_field("identify", strf("%.6f", timings.identify));
+    w.raw_field("total", strf("%.6f", timings.total()));
+    w.end_object();
+  }
 
   w.end_object();
   out += '\n';

@@ -56,8 +56,11 @@ struct Report {
   std::string render() const;
 
   /// Machine-readable report (region, MLI set, verdicts, timings, stats) —
-  /// what downstream C/R tooling consumes to emit Protect() calls.
-  std::string to_json() const;
+  /// what downstream C/R tooling consumes to emit Protect() calls. Pass
+  /// with_timings = false to drop the wall-clock timings object, making the
+  /// bytes a pure function of trace + region — what lets CI diff a
+  /// daemon-served report byte-for-byte against a local run.
+  std::string to_json(bool with_timings = true) const;
 
   /// The Fig. 5(e) view: "1: s-Write; 2: s-Read; ..." (first `max_events`).
   std::string render_events(std::size_t max_events = 64) const;

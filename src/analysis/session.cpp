@@ -67,7 +67,7 @@ void TextSink::consume(const Report& report, const SessionContext&) {
 }
 
 void JsonSink::consume(const Report& report, const SessionContext&) {
-  emit(report.to_json(), out_, capture_);
+  emit(report.to_json(with_timings_), out_, capture_);
 }
 
 void DotSink::consume(const Report& report, const SessionContext&) {

@@ -112,9 +112,17 @@ class JsonSink final : public ReportSink {
   explicit JsonSink(std::string* capture) : capture_(capture) {}
   void consume(const Report& report, const SessionContext& ctx) override;
 
+  /// false = omit the timings object (deterministic bytes; see
+  /// Report::to_json).
+  JsonSink& with_timings(bool on) {
+    with_timings_ = on;
+    return *this;
+  }
+
  private:
   std::FILE* out_ = nullptr;
   std::string* capture_ = nullptr;
+  bool with_timings_ = true;
 };
 
 /// Contracted-DDG DOT to a file or string (requires build_ddg).

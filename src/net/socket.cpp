@@ -1,0 +1,256 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace ac::net {
+
+void ignore_sigpipe() {
+  struct sigaction sa{};
+  sa.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &sa, nullptr);
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Socket::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+HostPort parse_host_port(const std::string& spec) {
+  HostPort out;
+  std::string port_text;
+  if (!spec.empty() && spec[0] == '[') {
+    // [v6addr]:PORT
+    const std::size_t close = spec.find(']');
+    if (close == std::string::npos || close + 1 >= spec.size() || spec[close + 1] != ':') {
+      throw ProtocolError("malformed [host]:port spec '" + spec + "'");
+    }
+    out.host = spec.substr(1, close - 1);
+    port_text = spec.substr(close + 2);
+  } else {
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos) {
+      port_text = spec;  // bare port
+    } else {
+      out.host = spec.substr(0, colon);
+      port_text = spec.substr(colon + 1);
+    }
+  }
+  if (port_text.empty()) {
+    throw ProtocolError("missing port in '" + spec + "' (want HOST:PORT or PORT)");
+  }
+  // Pure decimal, no sign, no trailing garbage — '8080x' and '-1' are
+  // rejected, not truncated.
+  unsigned long v = 0;
+  for (const char c : port_text) {
+    if (c < '0' || c > '9') {
+      throw ProtocolError("port in '" + spec + "' is not a decimal number");
+    }
+    v = v * 10 + static_cast<unsigned long>(c - '0');
+    if (v > 65535) throw ProtocolError("port in '" + spec + "' exceeds 65535");
+  }
+  out.port = static_cast<std::uint16_t>(v);
+  return out;
+}
+
+namespace {
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+struct AddrInfoHolder {
+  addrinfo* res = nullptr;
+  ~AddrInfoHolder() {
+    if (res) ::freeaddrinfo(res);
+  }
+};
+
+}  // namespace
+
+Socket connect_tcp(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  AddrInfoHolder ai;
+  const std::string service = strf("%u", static_cast<unsigned>(port));
+  const char* node = host.empty() ? "127.0.0.1" : host.c_str();
+  const int rc = ::getaddrinfo(node, service.c_str(), &hints, &ai.res);
+  if (rc != 0) {
+    throw ProtocolError(strf("cannot resolve %s:%u: %s", node, static_cast<unsigned>(port),
+                             ::gai_strerror(rc)));
+  }
+  int last_errno = 0;
+  for (addrinfo* a = ai.res; a; a = a->ai_next) {
+    Socket s(::socket(a->ai_family, a->ai_socktype, a->ai_protocol));
+    if (!s.valid()) {
+      last_errno = errno;
+      continue;
+    }
+    int crc;
+    do {
+      crc = ::connect(s.fd(), a->ai_addr, a->ai_addrlen);
+    } while (crc != 0 && errno == EINTR);
+    if (crc == 0) {
+      set_nodelay(s.fd());
+      return s;
+    }
+    last_errno = errno;
+  }
+  throw ProtocolError(strf("cannot connect to %s:%u: %s", node, static_cast<unsigned>(port),
+                           std::strerror(last_errno ? last_errno : ECONNREFUSED)));
+}
+
+Socket listen_tcp(const std::string& host, std::uint16_t port, int backlog,
+                  std::uint16_t* bound_port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  AddrInfoHolder ai;
+  const std::string service = strf("%u", static_cast<unsigned>(port));
+  const char* node = host.empty() ? "127.0.0.1" : host.c_str();
+  const int rc = ::getaddrinfo(node, service.c_str(), &hints, &ai.res);
+  if (rc != 0) {
+    throw ProtocolError(strf("cannot resolve listen address %s:%u: %s", node,
+                             static_cast<unsigned>(port), ::gai_strerror(rc)));
+  }
+  int last_errno = 0;
+  for (addrinfo* a = ai.res; a; a = a->ai_next) {
+    Socket s(::socket(a->ai_family, a->ai_socktype, a->ai_protocol));
+    if (!s.valid()) {
+      last_errno = errno;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(s.fd(), a->ai_addr, a->ai_addrlen) != 0 || ::listen(s.fd(), backlog) != 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (bound_port) {
+      sockaddr_storage ss{};
+      socklen_t len = sizeof ss;
+      if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&ss), &len) != 0) {
+        throw ProtocolError(strf("getsockname: %s", std::strerror(errno)));
+      }
+      *bound_port = ss.ss_family == AF_INET6
+                        ? ntohs(reinterpret_cast<sockaddr_in6*>(&ss)->sin6_port)
+                        : ntohs(reinterpret_cast<sockaddr_in*>(&ss)->sin_port);
+    }
+    return s;
+  }
+  throw ProtocolError(strf("cannot listen on %s:%u: %s", node, static_cast<unsigned>(port),
+                           std::strerror(last_errno ? last_errno : EADDRINUSE)));
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 ||
+      ::fcntl(fd, F_SETFL, on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK)) < 0) {
+    throw ProtocolError(strf("fcntl(O_NONBLOCK): %s", std::strerror(errno)));
+  }
+}
+
+namespace {
+
+void wait_io(int fd, short events) {
+  pollfd p{fd, events, 0};
+  int rc;
+  do {
+    rc = ::poll(&p, 1, -1);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) throw ProtocolError(strf("poll: %s", std::strerror(errno)));
+}
+
+}  // namespace
+
+void write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE even if the process-wide SIGPIPE
+    // disposition was reset (e.g. by an embedding host).
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w > 0) {
+      p += w;
+      n -= static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      wait_io(fd, POLLOUT);
+      continue;
+    }
+    if (w < 0 && errno == ENOTSOCK) {
+      // write_all also serves pipes in tests; fall back to write(2).
+      const ssize_t w2 = ::write(fd, p, n);
+      if (w2 > 0) {
+        p += w2;
+        n -= static_cast<std::size_t>(w2);
+        continue;
+      }
+      if (w2 < 0 && errno == EINTR) continue;
+    }
+    throw ProtocolError(strf("peer closed or write failed: %s", std::strerror(errno)));
+  }
+}
+
+std::size_t read_some(int fd, void* buf, std::size_t n, int timeout_ms) {
+  for (;;) {
+    if (timeout_ms >= 0) {
+      // Poll first so the timeout also covers blocking fds.
+      pollfd p{fd, POLLIN, 0};
+      int rc;
+      do {
+        rc = ::poll(&p, 1, timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      if (rc < 0) throw ProtocolError(strf("poll: %s", std::strerror(errno)));
+      if (rc == 0) throw ProtocolError(strf("read timed out after %d ms", timeout_ms));
+    }
+    const ssize_t r = ::recv(fd, buf, n, 0);
+    if (r >= 0) return static_cast<std::size_t>(r);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (timeout_ms < 0) wait_io(fd, POLLIN);
+      continue;
+    }
+    if (errno == ENOTSOCK) {
+      const ssize_t r2 = ::read(fd, buf, n);
+      if (r2 >= 0) return static_cast<std::size_t>(r2);
+      if (errno == EINTR) continue;
+    }
+    throw ProtocolError(strf("read failed: %s", std::strerror(errno)));
+  }
+}
+
+}  // namespace ac::net

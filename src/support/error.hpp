@@ -42,6 +42,15 @@ class CodecError : public Error {
   explicit CodecError(const std::string& what) : Error("codec: " + what) {}
 };
 
+/// Raised by the network layer (src/net): malformed or truncated frames,
+/// handshake violations, unparseable HOST:PORT specs, and socket failures.
+/// The acd daemon translates it into an Error frame + connection teardown;
+/// it must never take the process down.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error("protocol: " + what) {}
+};
+
 /// Raised by the C/R substrate (missing/corrupt checkpoint, size mismatch).
 class CheckpointError : public Error {
  public:

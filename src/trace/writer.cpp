@@ -1,5 +1,7 @@
 #include "trace/writer.hpp"
 
+#include <cerrno>
+
 #include "support/error.hpp"
 
 namespace ac::trace {
@@ -43,9 +45,24 @@ void FileSink::append(const TraceRecord& rec) {
 
 void FileSink::flush() {
   if (buffer_.empty() || !file_) return;
-  const std::size_t n = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
-  if (n != buffer_.size()) throw Error("short write to trace file");
-  bytes_ += n;
+  // fwrite may stop short when a signal lands mid-write (SIGPIPE is ignored
+  // process-wide once any net entry point ran, but SIGINT/SIGCHLD etc. still
+  // interrupt); retry the remainder and only treat zero progress as fatal.
+  const char* data = buffer_.data();
+  std::size_t left = buffer_.size();
+  while (left > 0) {
+    const std::size_t n = std::fwrite(data, 1, left, file_);
+    if (n == 0) {
+      if (errno == EINTR) {
+        std::clearerr(file_);
+        continue;
+      }
+      throw Error("short write to trace file");
+    }
+    data += n;
+    left -= n;
+    bytes_ += n;
+  }
   buffer_.clear();
 }
 

@@ -28,6 +28,8 @@
 #include "analysis/loopfinder.hpp"
 #include "analysis/session.hpp"
 #include "ckpt/codec.hpp"
+#include "net/remote.hpp"
+#include "net/socket.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/telemetry.hpp"
@@ -54,7 +56,11 @@ int usage() {
                "                      snippet: raw | rle | lz | xor+rle | chain (= xor+rle+lz)\n"
                "  --profile OUT.json  record telemetry spans and write a Chrome trace-event\n"
                "                      profile (chrome://tracing / Perfetto)\n"
-               "  --metrics OUT.json  write the flat metrics registry JSON\n");
+               "  --metrics OUT.json  write the flat metrics registry JSON\n"
+               "  --connect HOST:PORT stream the trace to an acd analysis daemon and print\n"
+               "                      the report it serves instead of analyzing locally\n"
+               "  --no-timings        omit the timings object from --json output\n"
+               "                      (deterministic bytes for diffing)\n");
   return 2;
 }
 
@@ -79,10 +85,16 @@ bool looks_numeric(const char* text) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A dying pipe reader (autocheck ... | head) or daemon must surface as a
+  // write error, never kill the process.
+  ac::net::ignore_sigpipe();
   if (argc < 2) return usage();
   std::string trace_path = argv[1];
   ac::analysis::MclRegion region;
   ac::analysis::AnalysisOptions opts;
+  ac::net::HostPort connect_to;
+  bool connect = false;
+  bool with_timings = true;
   std::string dot_path;
   int show_events = 0;
   bool suggest = false;
@@ -145,6 +157,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "autocheck: %s\n", e.what());
         return 2;
       }
+    } else if (arg == "--connect") {
+      // Checked HOST:PORT parse: trailing garbage ('8080x'), out-of-range or
+      // negative ports are hard errors, same discipline as parse_int_arg.
+      try {
+        connect_to = ac::net::parse_host_port(next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "autocheck: %s\n", e.what());
+        return 2;
+      }
+      if (connect_to.host.empty()) connect_to.host = "127.0.0.1";
+      connect = true;
+    } else if (arg == "--no-timings") {
+      with_timings = false;
     } else if (arg == "--profile") {
       profile_path = next();
     } else if (arg == "--metrics") {
@@ -238,6 +263,32 @@ int main(int argc, char** argv) {
     }
     if (region.begin_line <= 0 || region.end_line < region.begin_line) return usage();
 
+    if (connect) {
+      // Thin-client mode: stream the local trace to the daemon and print the
+      // report it serves. Rendering happens server-side, so the local-only
+      // output modes don't compose.
+      if (emit_protect || !dot_path.empty() || show_events > 0) {
+        std::fprintf(stderr,
+                     "autocheck: --emit-protect/--dot/--events are local output modes and do "
+                     "not combine with --connect\n");
+        return 2;
+      }
+      AC_SPAN("net.thin_client");
+      ac::net::RemoteSink remote(connect_to.host, connect_to.port);
+      const ac::trace::TraceBuffer& buf = source->buffer();
+      for (std::size_t i = 0; i < buf.size(); ++i) remote.append(buf.materialize(i));
+      ac::net::ReportSpec spec;
+      spec.region = region;
+      spec.mli_mode = opts.mli_mode;
+      spec.with_timings = with_timings;
+      spec.format = json ? ac::net::ReportFormat::Json : ac::net::ReportFormat::Text;
+      const std::string body = remote.fetch_report(spec);
+      std::fwrite(body.data(), 1, body.size(), stdout);
+      remote.close();
+      export_telemetry();
+      return 0;
+    }
+
     ac::analysis::Session session;
     session.source(source).region(region).options(opts);
     if (emit_protect) {
@@ -245,7 +296,9 @@ int main(int argc, char** argv) {
       if (!ckpt_codec.empty()) sink->codec_spec(ckpt_codec);
       session.sink(sink);
     } else if (json) {
-      session.sink(std::make_shared<ac::analysis::JsonSink>(stdout));
+      auto sink = std::make_shared<ac::analysis::JsonSink>(stdout);
+      sink->with_timings(with_timings);
+      session.sink(std::move(sink));
     } else {
       session.sink(std::make_shared<ac::analysis::TextSink>(stdout));
     }
