@@ -14,9 +14,12 @@
 // --check   regression gate: the parse+classify speedup of the interned path
 //           over the legacy path (measured in this same process, so the
 //           number is machine-independent) must stay within 25% of the
-//           checked-in baseline's. Also bounds the disabled-telemetry cost:
-//           per-span price x spans actually executed must stay <= 2% of the
-//           parse+classify wall. Exit 1 on regression.
+//           checked-in baseline's. Also gates the SIMD codec kernels against
+//           their forced-scalar references (shuffle/unshuffle >= 1.2x,
+//           zigzag >= 0.75x; skipped under AC_NO_SIMD=1 where dispatch is
+//           scalar) and bounds the disabled-telemetry cost: per-span price x
+//           spans actually executed must stay <= 2% of the parse+classify
+//           wall. Exit 1 on regression.
 // --profile / --metrics  export the telemetry recorded while benchmarking
 //           (Chrome-trace JSON / metrics JSON).
 //
@@ -34,7 +37,9 @@
 #include "analysis/session.hpp"
 #include "apps/harness.hpp"
 #include "minic/compiler.hpp"
+#include "support/codec.hpp"
 #include "support/json.hpp"
+#include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "support/telemetry.hpp"
@@ -287,11 +292,16 @@ void app_json(JsonWriter& w, const AppBench& r) {
   w.end_object();
 }
 
-std::string to_json(const std::vector<std::pair<int, std::vector<AppBench>>>& groups) {
+struct KernelBench;
+void kernel_json(JsonWriter& w, const KernelBench& kb);
+
+std::string to_json(const std::vector<std::pair<int, std::vector<AppBench>>>& groups,
+                    const KernelBench& kernels) {
   std::string out;
   JsonWriter w(&out);
   w.begin_object();
   w.field("bench", "analysis");
+  kernel_json(w, kernels);
   if (groups.size() == 1) {
     // Single-scale mode keeps the historical shape (the --check baseline and
     // external consumers parse it).
@@ -385,6 +395,102 @@ bool telemetry_overhead_ok(const apps::App& app, const apps::Params& params) {
               span_cost_s * 1e9, (unsigned long long)spans, base_s, overhead * 100,
               ok ? "ok" : "OVER 2% BUDGET");
   return ok;
+}
+
+/// SIMD codec kernel speedups over the forced-scalar references (dispatched
+/// call vs the `scalar::` variant, same process, same buffer — machine-
+/// independent ratios like the other gates).
+struct KernelBench {
+  const char* level = "scalar";
+  double shuffle_x = 0;
+  double unshuffle_x = 0;
+  double zigzag_enc_x = 0;
+  double zigzag_dec_x = 0;
+};
+
+KernelBench bench_kernels() {
+  KernelBench out;
+  out.level = simd_level_name(active_simd_level());
+
+  // MCTB-shaped inputs: an 8 MiB stride-8 column slab for the plane shuffle,
+  // a near-monotone dyn_id stream for zigzag-delta.
+  constexpr std::size_t kElems = 1u << 20;
+  SplitMix64 rng(42);
+  std::string plain(kElems * 8, '\0');
+  for (auto& ch : plain) ch = static_cast<char>(rng.next());
+  std::vector<std::uint64_t> ids(kElems);
+  std::uint64_t cur = 0;
+  for (auto& v : ids) {
+    cur += rng.below(1u << 12);
+    v = cur;
+  }
+
+  auto best_of = [](auto&& fn) {
+    double best = 0;
+    for (int r = 0; r < 5; ++r) {
+      WallTimer t;
+      fn();
+      const double s = t.seconds();
+      if (r == 0 || s < best) best = s;
+    }
+    return best;
+  };
+
+  std::string shuffled, shuffled_ref;
+  const double shuf = best_of([&] { shuffled = shuffle_planes(plain.data(), kElems, 8); });
+  const double shuf_ref =
+      best_of([&] { shuffled_ref = scalar::shuffle_planes(plain.data(), kElems, 8); });
+  std::string back(plain.size(), '\0');
+  const double unshuf = best_of([&] { unshuffle_planes(shuffled, kElems, 8, back.data()); });
+  const bool shuffle_ok = shuffled == shuffled_ref && back == plain;
+  const double unshuf_ref =
+      best_of([&] { scalar::unshuffle_planes(shuffled, kElems, 8, back.data()); });
+
+  std::vector<std::uint64_t> work;
+  double enc = 0, dec = 0, enc_ref = 0, dec_ref = 0;
+  for (int r = 0; r < 5; ++r) {
+    work = ids;
+    WallTimer te;
+    zigzag_delta_encode(work.data(), kElems);
+    const double e = te.seconds();
+    WallTimer td;
+    zigzag_delta_decode(work.data(), kElems);
+    const double d = td.seconds();
+    if (r == 0 || e < enc) enc = e;
+    if (r == 0 || d < dec) dec = d;
+  }
+  const bool zigzag_ok = work == ids;
+  for (int r = 0; r < 5; ++r) {
+    work = ids;
+    WallTimer te;
+    scalar::zigzag_delta_encode(work.data(), kElems);
+    const double e = te.seconds();
+    WallTimer td;
+    scalar::zigzag_delta_decode(work.data(), kElems);
+    const double d = td.seconds();
+    if (r == 0 || e < enc_ref) enc_ref = e;
+    if (r == 0 || d < dec_ref) dec_ref = d;
+  }
+  if (!shuffle_ok || !zigzag_ok || work != ids) {
+    std::fprintf(stderr, "bench_micro: SIMD KERNEL MISMATCH vs scalar reference\n");
+    std::exit(1);
+  }
+
+  out.shuffle_x = shuf > 0 ? shuf_ref / shuf : 0;
+  out.unshuffle_x = unshuf > 0 ? unshuf_ref / unshuf : 0;
+  out.zigzag_enc_x = enc > 0 ? enc_ref / enc : 0;
+  out.zigzag_dec_x = dec > 0 ? dec_ref / dec : 0;
+  return out;
+}
+
+void kernel_json(JsonWriter& w, const KernelBench& kb) {
+  w.key("simd").begin_object();
+  w.field("level", kb.level);
+  w.raw_field("shuffle_x", strf("%.3f", kb.shuffle_x));
+  w.raw_field("unshuffle_x", strf("%.3f", kb.unshuffle_x));
+  w.raw_field("zigzag_encode_x", strf("%.3f", kb.zigzag_enc_x));
+  w.raw_field("zigzag_decode_x", strf("%.3f", kb.zigzag_dec_x));
+  w.end_object();
 }
 
 }  // namespace
@@ -506,8 +612,16 @@ int main(int argc, char** argv) {
   }
   const std::vector<AppBench>& results = groups[0].second;
 
+  // Codec kernel dispatch vs forced scalar (honours AC_NO_SIMD: under it the
+  // dispatched call IS the scalar reference and every ratio sits near 1.0x).
+  const KernelBench kernels = bench_kernels();
+  std::printf("SIMD codec kernels (%s dispatch): shuffle %.1fx, unshuffle %.1fx, "
+              "zigzag enc %.1fx / dec %.1fx vs scalar on 8 MiB stride-8 columns\n\n",
+              kernels.level, kernels.shuffle_x, kernels.unshuffle_x, kernels.zigzag_enc_x,
+              kernels.zigzag_dec_x);
+
   if (!json_path.empty()) {
-    const std::string json = to_json(groups);
+    const std::string json = to_json(groups, kernels);
     std::FILE* f = std::fopen(json_path.c_str(), "wb");
     if (!f) {
       std::fprintf(stderr, "bench_micro: cannot write %s\n", json_path.c_str());
@@ -562,6 +676,30 @@ int main(int argc, char** argv) {
                   r.mctb_parse_speedup(), bad ? "TOO SLOW (< 2x)" : "ok");
       regressed = regressed || bad;
     }
+    // SIMD kernel gates. The shuffle pair must actually pay for its intrinsic
+    // complexity (>= 1.2x scalar); zigzag only has to not regress below the
+    // auto-vectorized scalar loop (>= 0.75x — GCC vectorizes the encode).
+    // Skipped when dispatch resolves to scalar (AC_NO_SIMD=1 or a CPU without
+    // SSSE3): there the kernels ARE the scalar reference and a ratio gate
+    // would only measure noise.
+    if (active_simd_level() != SimdLevel::Scalar) {
+      const struct {
+        const char* name;
+        double got;
+        double floor;
+      } simd_gates[] = {{"shuffle", kernels.shuffle_x, 1.2},
+                        {"unshuffle", kernels.unshuffle_x, 1.2},
+                        {"zigzag-enc", kernels.zigzag_enc_x, 0.75},
+                        {"zigzag-dec", kernels.zigzag_dec_x, 0.75}};
+      for (const auto& g : simd_gates) {
+        const bool bad = g.got < g.floor;
+        std::printf("check simd %-12s %.2fx scalar (floor %.2fx, %s) -> %s\n", g.name, g.got,
+                    g.floor, kernels.level, bad ? "TOO SLOW" : "ok");
+        regressed = regressed || bad;
+      }
+    } else {
+      std::printf("check simd     skipped: scalar dispatch (AC_NO_SIMD or no SIMD CPU)\n");
+    }
     // Telemetry overhead gate on the largest measured app (re-traced in the
     // gate; safe here because the --profile/--metrics export already ran).
     std::size_t biggest = 0;
@@ -577,12 +715,14 @@ int main(int argc, char** argv) {
     }
     if (regressed) {
       std::printf("FAIL: parse+classify regressed >25%% against %s, MCTB parse fell "
-                  "under 2x text parse, or disabled telemetry cost exceeded 2%%\n",
+                  "under 2x text parse, a SIMD kernel fell under its scalar floor, "
+                  "or disabled telemetry cost exceeded 2%%\n",
                   check_path.c_str());
       return 1;
     }
     std::printf("parse+classify speedup within 25%% of baseline, MCTB parse >= 2x text "
-                "parse, disabled telemetry <= 2%% (%d app(s) checked)\n", checked);
+                "parse, SIMD kernels at/above scalar floors, disabled telemetry <= 2%% "
+                "(%d app(s) checked)\n", checked);
   }
   return 0;
 }

@@ -1,15 +1,14 @@
 #include "analysis/classify.hpp"
 
 #include "support/error.hpp"
+#include "support/executor.hpp"
 #include "support/strings.hpp"
 #include "support/telemetry.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <condition_variable>
 #include <map>
 #include <mutex>
-#include <thread>
 #include <tuple>
 #include <set>
 #include <unordered_map>
@@ -293,26 +292,20 @@ ClassifyResult classify_sharded(const DepResult& dep, const PreprocessResult& pr
   const std::size_t nshards = static_cast<std::size_t>(threads);
   std::vector<std::vector<AccessEvent>> shards(nshards);
   std::vector<std::unordered_map<int, VarVerdict>> partial(nshards);
+  FailState fail;
   {
-    std::vector<std::thread> pool;
-    pool.reserve(nshards);
-    // Joins whatever got started even when a later pthread_create fails, so
-    // the resource-exhaustion error propagates instead of std::terminate.
-    struct Joiner {
-      std::vector<std::thread>& pool;
-      ~Joiner() {
-        for (auto& t : pool) {
-          if (t.joinable()) t.join();
-        }
-      }
-    } joiner{pool};
+    // WorkerGroup joins whatever got started even when a later pthread_create
+    // fails, and traps worker exceptions into the FailState — a bad_alloc in
+    // a shard used to escape the thread and terminate the process.
+    WorkerGroup pool(fail);
     // The per-variable event extraction fans out onto the same pool (the
     // ROADMAP's "parallelize dep-analysis" follow-up: the replay is
     // sequential by nature, but the extraction is a data-parallel sweep):
     // every worker scans the shared event array once, keeping the events of
     // its own shard's variables in execution order, then scans its shard.
     for (std::size_t s = 0; s < nshards; ++s) {
-      pool.emplace_back([&, s] {
+      pool.spawn([&, s] {
+        if (fail.cancelled()) return;
         std::vector<AccessEvent>& mine = shards[s];
         {
           AC_SPAN("classify.extract");
@@ -328,6 +321,7 @@ ClassifyResult classify_sharded(const DepResult& dep, const PreprocessResult& pr
       });
     }
   }
+  fail.rethrow_if_failed();
 
   // Shards own disjoint variable sets, so the merge is a plain union; the
   // deterministic ordering comes from assemble(), not from merge order.
@@ -373,70 +367,21 @@ ClassifyResult classify_pipelined(const DepResult& dep, const PreprocessResult& 
   }
 
   std::vector<std::unordered_map<int, VarVerdict>> partial(nshards);
-  std::atomic<std::size_t> next{0};
-  std::mutex err_mu;
-  std::string first_error;
-  const auto record_error = [&](const char* what) {
-    std::lock_guard<std::mutex> lock(err_mu);
-    if (first_error.empty()) first_error = what;
-  };
 
-  std::vector<std::thread> scanners, extractors;
-  scanners.reserve(nshards);
-  extractors.reserve(nextract);
-  struct Joiner {
-    std::vector<std::thread>& a;
-    std::vector<std::thread>& b;
-    ~Joiner() {
-      for (auto& t : a) {
-        if (t.joinable()) t.join();
-      }
-      for (auto& t : b) {
-        if (t.joinable()) t.join();
-      }
-    }
-  } joiner{extractors, scanners};
-
-  // Extraction: workers claim event chunks, sweep each once routing events to
-  // their variables' shards, and deliver the slices. One sweep of the event
-  // array total, not one per shard — and no barrier before scanning starts.
-  for (std::size_t t = 0; t < nextract; ++t) {
-    extractors.emplace_back([&] {
-      for (std::size_t c = next.fetch_add(1); c < nchunks; c = next.fetch_add(1)) {
-        AC_SPAN("classify.extract_chunk");
-        const std::size_t begin = c * chunk;
-        const std::size_t end = std::min(nevents, begin + chunk);
-        std::vector<std::vector<AccessEvent>> local(nshards);
-        try {
-          for (std::size_t i = begin; i < end; ++i) {
-            const AccessEvent& ev = dep.events[i];
-            local[static_cast<std::size_t>(shard_of[static_cast<std::size_t>(ev.var)])]
-                .push_back(ev);
-          }
-        } catch (const std::exception& e) {
-          record_error(e.what());
-        }
-        // Deliver even after an error (possibly short slices): scanners must
-        // never deadlock on a hole; the error aborts the result below.
-        static auto& depth = telemetry::metrics().gauge("classify.mailbox_depth");
-        for (std::size_t s = 0; s < nshards; ++s) {
-          {
-            std::lock_guard<std::mutex> lock(boxes[s].mu);
-            boxes[s].slices[c] = std::move(local[s]);
-            boxes[s].ready[c] = 1;
-          }
-          depth.add(1);  // delivered, not yet consumed (max = peak backlog)
-          boxes[s].cv.notify_all();
-        }
-      }
-    });
-  }
-
-  // Scanners: fold slices into the incremental two-pass scan as they arrive —
-  // pass-1 accumulation overlaps with extraction still sweeping later chunks.
-  for (std::size_t s = 0; s < nshards; ++s) {
-    scanners.emplace_back([&, s] {
-      try {
+  // Both stages share one FailState: a failure anywhere cancels extraction
+  // (run_chunks stops handing out chunks) and every scanner (mailbox waits
+  // also wake on the cancellation flag), and exactly one exception — with its
+  // original type and message — survives to the rethrow below. The old
+  // mailboxes stashed e.what() in a string and rethrew everything as
+  // AnalysisError, so a worker bad_alloc came back relabelled.
+  FailState fail;
+  {
+    // Scanners fold slices into the incremental two-pass scan as they
+    // arrive — pass-1 accumulation overlaps with extraction still sweeping
+    // later chunks. WorkerGroup traps scanner exceptions into `fail`.
+    WorkerGroup scanners(fail);
+    for (std::size_t s = 0; s < nshards; ++s) {
+      scanners.spawn([&, s] {
         // The span covers mailbox waits too, so scanner stalls (extraction
         // backpressure) are visible as long scan_shard spans in the profile.
         AC_SPAN("classify.scan_shard");
@@ -448,7 +393,8 @@ ClassifyResult classify_pipelined(const DepResult& dep, const PreprocessResult& 
           std::vector<AccessEvent> slice;
           {
             std::unique_lock<std::mutex> lock(box.mu);
-            box.cv.wait(lock, [&] { return box.ready[c] != 0; });
+            box.cv.wait(lock, [&] { return box.ready[c] != 0 || fail.cancelled(); });
+            if (fail.cancelled()) return;  // hole in the mailbox: region aborted
             slice = std::move(box.slices[c]);
           }
           depth.add(-1);
@@ -457,18 +403,50 @@ ClassifyResult classify_pipelined(const DepResult& dep, const PreprocessResult& 
         }
         note_shard_events(events_seen);
         partial[s] = scan.finish();
-      } catch (const std::exception& e) {
-        record_error(e.what());
-      }
-    });
-  }
+      });
+    }
 
-  for (auto& t : extractors) t.join();
-  for (auto& t : scanners) t.join();
-  {
-    std::lock_guard<std::mutex> lock(err_mu);
-    if (!first_error.empty()) throw AnalysisError("pipelined classify: " + first_error);
+    // Extraction: the executor's workers claim event chunks, sweep each once
+    // routing events to their variables' shards, and deliver the slices. One
+    // sweep of the event array total, not one per shard — and no barrier
+    // before scanning starts. The shared FailState means a failed chunk stops
+    // extraction without throwing here (scanners still need the wakeup).
+    ExecutorOptions eopts;
+    eopts.threads = static_cast<int>(nextract);
+    run_chunks(
+        nchunks, eopts,
+        [&](std::size_t c) {
+          AC_SPAN("classify.extract_chunk");
+          const std::size_t begin = c * chunk;
+          const std::size_t end = std::min(nevents, begin + chunk);
+          std::vector<std::vector<AccessEvent>> local(nshards);
+          for (std::size_t i = begin; i < end; ++i) {
+            const AccessEvent& ev = dep.events[i];
+            local[static_cast<std::size_t>(shard_of[static_cast<std::size_t>(ev.var)])]
+                .push_back(ev);
+          }
+          static auto& depth = telemetry::metrics().gauge("classify.mailbox_depth");
+          for (std::size_t s = 0; s < nshards; ++s) {
+            {
+              std::lock_guard<std::mutex> lock(boxes[s].mu);
+              boxes[s].slices[c] = std::move(local[s]);
+              boxes[s].ready[c] = 1;
+            }
+            depth.add(1);  // delivered, not yet consumed (max = peak backlog)
+            boxes[s].cv.notify_all();
+          }
+        },
+        /*on_ready=*/{}, &fail);
+
+    // Extraction is done (or cancelled): wake scanners parked on mailboxes so
+    // they observe either their final slices or the cancellation flag. The
+    // empty critical section orders the wake after any in-flight delivery.
+    for (auto& b : boxes) {
+      { std::lock_guard<std::mutex> lock(b.mu); }
+      b.cv.notify_all();
+    }
   }
+  fail.rethrow_if_failed();
 
   std::unordered_map<int, VarVerdict> verdicts;
   for (auto& p : partial) {

@@ -94,17 +94,69 @@ class CodecChain {
   std::vector<CodecId> stages_;
 };
 
+// --- SIMD kernel dispatch ---------------------------------------------------
+//
+// The byte-level kernels below (plane shuffle, zigzag-delta, RLE scan) sit
+// under every MCTB decode and checkpoint encode. Each has a scalar reference
+// implementation plus SSE/AVX2 variants selected once at startup from CPUID;
+// setting the AC_NO_SIMD environment variable (to anything but "0") forces
+// the scalar path. The dispatch level is a process-wide atomic so tests and
+// benches can pin a level with force_simd_level() and compare outputs — the
+// variants are bit-identical by contract, pinned in tests/test_simd.cpp.
+
+enum class SimdLevel : std::uint8_t { Scalar = 0, Sse = 1, Avx2 = 2 };
+
+/// "scalar", "sse", "avx2".
+const char* simd_level_name(SimdLevel level);
+
+/// The dispatch level in effect: the highest CPU-supported level by default,
+/// Scalar when AC_NO_SIMD is set in the environment.
+SimdLevel active_simd_level();
+
+/// Test/bench hook: pin the dispatch level (clamped to what the CPU actually
+/// supports — requesting Avx2 on an SSE-only machine yields Sse). Returns the
+/// previously active level so callers can restore it.
+SimdLevel force_simd_level(SimdLevel level);
+
 // --- fixed-stride helpers shared by the container formats -------------------
 
 /// Byte-plane shuffle of `count` elements of `stride` bytes each (the
 /// Blosc/HDF5 shuffle filter): all bytes 0, then all bytes 1, ... — after
 /// delta/XOR prediction the high planes are almost entirely zero, handing RLE
-/// kilobyte-long runs instead of isolated zero pairs.
+/// kilobyte-long runs instead of isolated zero pairs. Strides 4 and 8 (the
+/// container column widths) take the SIMD transpose path.
 std::string shuffle_planes(const void* data, std::size_t count, std::size_t stride);
 
 /// Inverse of shuffle_planes into `out` (count * stride bytes). Throws
 /// CodecError when `bytes` is not exactly count * stride long.
 void unshuffle_planes(std::string_view bytes, std::size_t count, std::size_t stride, void* out);
+
+/// In-place delta + zigzag fold over a u64 column: values[i] becomes
+/// zigzag_encode(values[i] - values[i-1]) with values[0] delta'd against
+/// `prev`. Inverse of zigzag_delta_decode with the same `prev`.
+void zigzag_delta_encode(std::uint64_t* values, std::size_t n, std::uint64_t prev = 0);
+
+/// In-place zigzag unfold + running sum: values[i] becomes
+/// prev + sum of zigzag_decode(values[0..i]).
+void zigzag_delta_decode(std::uint64_t* values, std::size_t n, std::uint64_t prev = 0);
+
+/// First index i in [0, n) with p[i] == p[i+1] == p[i+2] (the shortest run
+/// the RLE tokenizer emits), or n when no run starts in the buffer.
+std::size_t rle_find_run(const unsigned char* p, std::size_t n);
+
+/// Length of the run of p[0] bytes at p, capped at n. n must be >= 1.
+std::size_t rle_run_length(const unsigned char* p, std::size_t n);
+
+/// Scalar reference implementations of the dispatched kernels above, exported
+/// for equivalence tests and as the bench baseline. Semantics are identical.
+namespace scalar {
+std::string shuffle_planes(const void* data, std::size_t count, std::size_t stride);
+void unshuffle_planes(std::string_view bytes, std::size_t count, std::size_t stride, void* out);
+void zigzag_delta_encode(std::uint64_t* values, std::size_t n, std::uint64_t prev = 0);
+void zigzag_delta_decode(std::uint64_t* values, std::size_t n, std::uint64_t prev = 0);
+std::size_t rle_find_run(const unsigned char* p, std::size_t n);
+std::size_t rle_run_length(const unsigned char* p, std::size_t n);
+}  // namespace scalar
 
 /// Zigzag fold of a signed delta so small magnitudes of either sign get
 /// leading zero bytes: 0,-1,1,-2,2... -> 0,1,2,3,4...

@@ -1,13 +1,11 @@
 #include "trace/mctb.hpp"
 
-#include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "support/crc32.hpp"
+#include "support/executor.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 #include "support/telemetry.hpp"
@@ -148,16 +146,15 @@ std::string encode_record_chunk(const PackedRecord* recs, std::size_t n) {
   std::vector<std::uint64_t> dyn(n);
   std::vector<std::uint32_t> func(n), bb(n), opcnt(n), line(n);
   std::string opcode(n, '\0');
-  std::uint64_t prev = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    dyn[i] = zigzag_encode(recs[i].dyn_id - prev);
-    prev = recs[i].dyn_id;
+    dyn[i] = recs[i].dyn_id;
     func[i] = recs[i].func;
     bb[i] = recs[i].bb;
     opcnt[i] = recs[i].op_count;
     line[i] = static_cast<std::uint32_t>(recs[i].line);
     opcode[i] = static_cast<char>(recs[i].opcode);
   }
+  zigzag_delta_encode(dyn.data(), n);  // SIMD kernel; the gather above stays scalar
   std::string raw = shuffle_planes(dyn.data(), n, 8);
   raw += shuffle_planes(func.data(), n, 4);
   raw += shuffle_planes(bb.data(), n, 4);
@@ -209,7 +206,8 @@ void decode_record_chunk(std::string_view raw, const SectionHeader& sec,
                          std::uint64_t chunk_operands, TraceBuffer& buf) {
   const std::size_t n = static_cast<std::size_t>(sec.count);
   std::size_t off = 0;
-  const auto dyn = take_column<std::uint64_t>(raw, off, n);
+  auto dyn = take_column<std::uint64_t>(raw, off, n);
+  zigzag_delta_decode(dyn.data(), n);  // dyn[i] becomes the absolute dyn_id
   const auto func = take_column<std::uint32_t>(raw, off, n);
   const auto bb = take_column<std::uint32_t>(raw, off, n);
   const auto opcnt = take_column<std::uint32_t>(raw, off, n);
@@ -225,12 +223,10 @@ void decode_record_chunk(std::string_view raw, const SectionHeader& sec,
   };
 
   PackedRecord* out = buf.records().data() + record_base;
-  std::uint64_t prev = 0;
   std::uint64_t opsum = 0;
   for (std::size_t i = 0; i < n; ++i) {
     PackedRecord& rec = out[i];
-    prev += zigzag_decode(dyn[i]);
-    rec.dyn_id = prev;
+    rec.dyn_id = dyn[i];
     check_sym(func[i], "function");
     check_sym(bb[i], "basic-block");
     rec.func = func[i];
@@ -570,49 +566,23 @@ TraceBuffer read_mctb(std::string_view bytes, int num_threads, const ParseProgre
     recs.add(rec_secs[c].count);
   };
 
-  int threads = num_threads > 0 ? num_threads : static_cast<int>(std::thread::hardware_concurrency());
-  if (threads < 1) threads = 1;
-  if (threads > 256) threads = 256;
-  threads = std::min<int>(threads, static_cast<int>(chunk_count ? chunk_count : 1));
-
-  if (threads <= 1 || chunk_count <= 1) {
-    for (std::uint32_t c = 0; c < chunk_count; ++c) {
-      decode_chunk(c);
-      if (progress) {
-        progress(static_cast<std::size_t>(rec_secs[c].payload_off),
-                 static_cast<std::size_t>(op_secs[c].payload_off + op_secs[c].payload_size));
-      }
-    }
-    return buf;
-  }
-
   // Chunks land in disjoint slots of the preallocated arrays, so workers
-  // share nothing but the read-only input and the finished pool.
-  std::atomic<std::uint32_t> next{0};
-  std::mutex mu;  // first_error + progress
-  std::string first_error;
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
-      for (std::uint32_t c = next.fetch_add(1); c < chunk_count; c = next.fetch_add(1)) {
-        try {
-          decode_chunk(c);
-          if (progress) {
-            std::lock_guard<std::mutex> lock(mu);
-            progress(static_cast<std::size_t>(rec_secs[c].payload_off),
-                     static_cast<std::size_t>(op_secs[c].payload_off +
-                                              op_secs[c].payload_size));
-          }
-        } catch (const std::exception& e) {
-          std::lock_guard<std::mutex> lock(mu);
-          if (first_error.empty()) first_error = e.what();
+  // share nothing but the read-only input and the finished pool. The shared
+  // executor claims chunks in order, cancels unclaimed ones after a first
+  // failure, and rethrows that failure with its original type + message —
+  // so a corrupt chunk raises the exact error the serial decode would. The
+  // ordered on_ready consumer replaces the old progress mutex.
+  ExecutorOptions eopts;
+  eopts.threads = num_threads;
+  run_chunks(
+      chunk_count, eopts,
+      [&](std::size_t c) { decode_chunk(static_cast<std::uint32_t>(c)); },
+      [&](std::size_t c) {
+        if (progress) {
+          progress(static_cast<std::size_t>(rec_secs[c].payload_off),
+                   static_cast<std::size_t>(op_secs[c].payload_off + op_secs[c].payload_size));
         }
-      }
-    });
-  }
-  for (auto& t : pool) t.join();
-  if (!first_error.empty()) throw TraceFormatError(first_error);
+      });
   return buf;
 }
 

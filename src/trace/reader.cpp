@@ -1,9 +1,6 @@
 #include "trace/reader.hpp"
 
-#include <atomic>
-#include <condition_variable>
 #include <cstdio>
-#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -12,6 +9,7 @@
 #endif
 
 #include "support/error.hpp"
+#include "support/executor.hpp"
 #include "support/strings.hpp"
 #include "support/telemetry.hpp"
 
@@ -260,92 +258,71 @@ TraceBuffer read_trace_buffer_parallel(std::string_view text, int num_threads,
   if (chunks.size() < 2) return read_trace_buffer(text, progress);
   const std::size_t n = chunks.size();
 
-  // Pipelined producer/consumer (no concat barrier): workers claim chunks,
-  // parse them into private buffers and bulk-merge their symbols into the
-  // shared pool (SymbolPool::merge is mutex-protected, so merges overlap with
-  // other workers still parsing); the calling thread is the consumer, and
-  // splices chunk c into the output the moment it is ready — while later
-  // chunks are still being parsed. append_remapped only touches the record/
-  // operand arrays, never the pool, so the splice runs concurrently with
-  // in-flight merges.
+  // Pipelined producer/consumer on the shared chunk executor (no concat
+  // barrier): workers claim chunks, parse them into private buffers and
+  // bulk-merge their symbols into the shared pool (SymbolPool::merge is
+  // mutex-protected, so merges overlap with other workers still parsing); the
+  // calling thread is the executor's in-order consumer, splicing chunk c into
+  // the output the moment it is ready — while later chunks are still being
+  // parsed. append_remapped only touches the record/operand arrays, never the
+  // pool, so the splice runs concurrently with in-flight merges. The in-flight
+  // bound keeps at most ~2 parsed-but-unspliced chunks per worker alive, so a
+  // slow consumer cannot accumulate every partial buffer at once; a parse
+  // error cancels unclaimed chunks and resurfaces here with its original
+  // type and message — identical to the serial parse of the same bytes.
   TraceBuffer out;
   std::vector<TraceBuffer> partial(n);
   std::vector<std::vector<std::uint32_t>> remaps(n);
-  std::vector<char> ready(n, 0);
-  std::atomic<std::size_t> next{0};
-  std::mutex mu;
-  std::condition_variable cv;
-  std::string first_error;
-
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
-      for (std::size_t c = next.fetch_add(1); c < n; c = next.fetch_add(1)) {
-        try {
-          const std::string_view sub =
-              text.substr(chunks[c].first, chunks[c].second - chunks[c].first);
-          {
-            AC_SPAN("parse.chunk");
-            partial[c].reserve(sub.size() / 96 + 1, sub.size() / 32 + 1);
-            parse_text_into(sub, partial[c]);
-            note_chunk_parsed(partial[c].size(), sub.size());
-          }
-          AC_SPAN("parse.merge");
-          remaps[c] = out.pool().merge(partial[c].pool());
-        } catch (const std::exception& e) {
-          std::lock_guard<std::mutex> lock(mu);
-          if (first_error.empty()) first_error = e.what();
-        }
-        {
-          std::lock_guard<std::mutex> lock(mu);
-          ready[c] = 1;
-        }
-        cv.notify_all();
-      }
-    });
-  }
-
   bool reserved = false;
-  bool failed = false;
-  for (std::size_t c = 0; c < n && !failed; ++c) {
-    {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return ready[c] != 0; });
-      failed = !first_error.empty();
-    }
-    if (failed) break;
-    if (!reserved) {
-      // Size the output arrays once, extrapolating the first chunk's
-      // record/operand density over the whole input (5% headroom).
-      const double scale = static_cast<double>(text.size()) /
-                           static_cast<double>(chunks[0].second - chunks[0].first) * 1.05;
-      out.reserve(
-          static_cast<std::size_t>(static_cast<double>(partial[0].size()) * scale) + 1,
-          static_cast<std::size_t>(static_cast<double>(partial[0].operands().size()) * scale) +
-              1);
-      reserved = true;
-    }
-    // If the extrapolation undershot (chunk 0 sparser than the rest), grow
-    // geometrically here — append_remapped's own reserve is exact-fit, which
-    // would otherwise reallocate the whole arrays on every remaining chunk.
-    const auto grow = [](auto& vec, std::size_t need) {
-      if (need > vec.capacity()) vec.reserve(std::max(need, vec.capacity() + vec.capacity() / 2));
-    };
-    {
-      AC_SPAN("parse.splice");
-      grow(out.records(), out.records().size() + partial[c].records().size());
-      grow(out.operands(), out.operands().size() + partial[c].operands().size());
-      out.append_remapped(partial[c], remaps[c]);
-    }
-    partial[c] = TraceBuffer();  // release chunk memory as it is consumed
-    if (progress) progress(chunks[c].first, chunks[c].second);
-  }
-  for (auto& t : pool) t.join();
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    if (!first_error.empty()) throw TraceFormatError(first_error);
-  }
+
+  ExecutorOptions eopts;
+  eopts.threads = threads;
+  eopts.max_in_flight = static_cast<std::size_t>(threads) * 2;
+  run_chunks(
+      n, eopts,
+      [&](std::size_t c) {
+        const std::string_view sub =
+            text.substr(chunks[c].first, chunks[c].second - chunks[c].first);
+        {
+          AC_SPAN("parse.chunk");
+          partial[c].reserve(sub.size() / 96 + 1, sub.size() / 32 + 1);
+          parse_text_into(sub, partial[c]);
+          note_chunk_parsed(partial[c].size(), sub.size());
+        }
+        AC_SPAN("parse.merge");
+        remaps[c] = out.pool().merge(partial[c].pool());
+      },
+      [&](std::size_t c) {
+        if (!reserved) {
+          // Size the output arrays once, extrapolating the first chunk's
+          // record/operand density over the whole input (5% headroom).
+          const double scale = static_cast<double>(text.size()) /
+                               static_cast<double>(chunks[0].second - chunks[0].first) * 1.05;
+          out.reserve(
+              static_cast<std::size_t>(static_cast<double>(partial[0].size()) * scale) + 1,
+              static_cast<std::size_t>(static_cast<double>(partial[0].operands().size()) *
+                                       scale) +
+                  1);
+          reserved = true;
+        }
+        // If the extrapolation undershot (chunk 0 sparser than the rest), grow
+        // geometrically here — append_remapped's own reserve is exact-fit,
+        // which would otherwise reallocate the whole arrays on every
+        // remaining chunk.
+        const auto grow = [](auto& vec, std::size_t need) {
+          if (need > vec.capacity()) {
+            vec.reserve(std::max(need, vec.capacity() + vec.capacity() / 2));
+          }
+        };
+        {
+          AC_SPAN("parse.splice");
+          grow(out.records(), out.records().size() + partial[c].records().size());
+          grow(out.operands(), out.operands().size() + partial[c].operands().size());
+          out.append_remapped(partial[c], remaps[c]);
+        }
+        partial[c] = TraceBuffer();  // release chunk memory as it is consumed
+        if (progress) progress(chunks[c].first, chunks[c].second);
+      });
   return out;
 }
 
@@ -402,20 +379,23 @@ std::vector<TraceRecord> read_trace_text_parallel(std::string_view text, int num
     begin = end;
   }
 
+  // OpenMP cannot propagate exceptions out of a parallel region, so trap them
+  // into a FailState: lowest-chunk-wins keeps the error identical to the
+  // serial parse, and the cancellation flag skips remaining iterations.
   std::vector<std::vector<TraceRecord>> partial(chunks.size());
-  std::string first_error;
+  FailState fail;
 #pragma omp parallel for schedule(dynamic) num_threads(threads)
   for (std::size_t c = 0; c < chunks.size(); ++c) {
+    if (fail.cancelled()) continue;
     try {
       std::vector<std::string_view> sub(lines.begin() + static_cast<std::ptrdiff_t>(chunks[c].first),
                                         lines.begin() + static_cast<std::ptrdiff_t>(chunks[c].second));
       partial[c] = parse_lines(sub);
-    } catch (const std::exception& e) {
-#pragma omp critical
-      if (first_error.empty()) first_error = e.what();
+    } catch (...) {
+      fail.capture(c);
     }
   }
-  if (!first_error.empty()) throw TraceFormatError(first_error);
+  fail.rethrow_if_failed();
 
   std::size_t total = 0;
   for (const auto& p : partial) total += p.size();

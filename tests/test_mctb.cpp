@@ -302,6 +302,95 @@ TEST(MctbMalformed, ParallelDecodeRejectsToo) {
   EXPECT_THROW(read_mctb(img, 4), TraceFormatError);
 }
 
+// --- serial vs parallel error identity ---------------------------------------
+
+/// The executor's exception_ptr propagation (lowest failing chunk wins) makes
+/// the parallel decode raise the *byte-identical* error the serial decode
+/// raises — type and message — for every corruption in the matrix above.
+void expect_error_identity(const std::string& img, const char* label) {
+  std::string serial_what;
+  try {
+    read_mctb(img, 1);
+    FAIL() << label << ": serial decode accepted the corrupt container";
+  } catch (const TraceFormatError& e) {
+    serial_what = e.what();
+  }
+  for (const int threads : {2, 4}) {
+    try {
+      read_mctb(img, threads);
+      FAIL() << label << ": parallel decode accepted the corrupt container";
+    } catch (const TraceFormatError& e) {
+      EXPECT_STREQ(serial_what.c_str(), e.what()) << label << " threads=" << threads;
+    } catch (const std::exception& e) {
+      FAIL() << label << ": exception type erased to: " << e.what();
+    }
+  }
+}
+
+TEST(MctbErrorIdentity, SerialAndParallelRaiseTheSameError) {
+  const std::string text = fig4_trace_text();
+  // chunk_records=32 gives several record/operand chunks, so the parallel
+  // decode genuinely fans out and cancellation/first-error logic is live.
+  {
+    std::string img = raw_codec_container(text, 32);
+    const SecInfo sec = find_section(img, 2);
+    img[sec.header_base + kSecStagesOff - 1] = 1;
+    img[sec.header_base + kSecStagesOff] = 9;  // unknown codec id
+    fix_crcs(img);
+    expect_error_identity(img, "bad codec stage");
+  }
+  {
+    std::string img = raw_codec_container(text, 32);
+    const SecInfo sec = find_section(img, 2);
+    const std::size_t n = static_cast<std::size_t>(sec.count);
+    const std::size_t opcnt_off = sec.payload_off + 16 * n;
+    img[opcnt_off] = static_cast<char>(static_cast<unsigned char>(img[opcnt_off]) + 1);
+    fix_crcs(img);
+    expect_error_identity(img, "operand count overflow");
+  }
+  {
+    std::string img = raw_codec_container(text, 32);
+    const SecInfo sec = find_section(img, 2);
+    const std::size_t n = static_cast<std::size_t>(sec.count);
+    img[sec.payload_off + 8 * n + 3 * n] = 0x7F;  // func id out of range
+    fix_crcs(img);
+    expect_error_identity(img, "symbol id out of range");
+  }
+  {
+    std::string img = raw_codec_container(text, 32);
+    const SecInfo sec = find_section(img, 2);
+    const std::size_t n = static_cast<std::size_t>(sec.count);
+    img[sec.payload_off + 24 * n] = static_cast<char>(0xFA);  // opcode 250
+    fix_crcs(img);
+    expect_error_identity(img, "unknown opcode");
+  }
+  {
+    std::string img = raw_codec_container(text, 32);
+    const SecInfo sec = find_section(img, 3);
+    const std::size_t m = static_cast<std::size_t>(sec.count);
+    img[sec.payload_off + 20 * m] = static_cast<char>(0xFF);  // flags byte
+    fix_crcs(img);
+    expect_error_identity(img, "malformed flags");
+  }
+  {
+    // Corruption in a *later* chunk: earlier chunks decode fine on every
+    // path, and the error still matches byte for byte.
+    std::string img = raw_codec_container(text, 32);
+    const SecInfo sec = find_section(img, 2, /*nth=*/2);
+    const std::size_t n = static_cast<std::size_t>(sec.count);
+    img[sec.payload_off + 24 * n] = static_cast<char>(0xFA);
+    fix_crcs(img);
+    expect_error_identity(img, "later-chunk opcode");
+  }
+  {
+    // CRC mismatch (no fix_crcs): caught at payload verification.
+    std::string img = raw_codec_container(text, 32);
+    const SecInfo sec = find_section(img, 2, /*nth=*/1);
+    img[sec.payload_off] = static_cast<char>(static_cast<unsigned char>(img[sec.payload_off]) ^ 0x5A);
+    expect_error_identity(img, "payload crc mismatch");
+  }
+}
+
 // --- the 14-app property -----------------------------------------------------
 
 /// text -> recode -> mctb -> read must reproduce the exact original bytes,

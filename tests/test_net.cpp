@@ -288,6 +288,38 @@ TEST(DaemonTest, CorruptMctbChunkRejected) {
   c.expect_error("");  // TraceFormatError text varies by corrupted section
 }
 
+TEST(DaemonTest, DaemonErrorIdenticalToLocalDecode) {
+  // The acceptance property: a corrupt MCTB chunk raises a byte-identical
+  // error — type + message — under serial decode, parallel decode, and the
+  // daemon path (whose Error frame carries e.what() verbatim).
+  std::string container = trace::mctb_to_bytes(fig4_buffer(), {});
+  container[container.size() / 2] ^= 0x10;
+
+  std::string local_what;
+  try {
+    trace::read_mctb(container, 1);
+    FAIL() << "local serial decode accepted the corrupt container";
+  } catch (const TraceFormatError& e) {
+    local_what = e.what();
+  }
+  try {
+    trace::read_mctb(container, 4);
+    FAIL() << "local parallel decode accepted the corrupt container";
+  } catch (const TraceFormatError& e) {
+    EXPECT_STREQ(local_what.c_str(), e.what());
+  }
+
+  LoopbackServer lb;
+  RawClient c(lb.server.port());
+  c.handshake();
+  const std::string wire = encode_frame(FrameType::TraceChunk, container);
+  write_all(c.sock.fd(), wire.data(), wire.size());
+  auto f = c.stream.next();
+  ASSERT_TRUE(f.has_value()) << "server closed without an Error frame";
+  ASSERT_EQ(f->type, FrameType::Error) << "got " << frame_type_name(f->type);
+  EXPECT_EQ(local_what, f->payload);
+}
+
 TEST(DaemonTest, TruncatedChunkRejected) {
   LoopbackServer lb;
   RawClient c(lb.server.port());

@@ -92,6 +92,49 @@ TEST(ParallelReader, PropagatesParseErrors) {
   EXPECT_THROW(read_trace_text_parallel(text, 4), ac::TraceFormatError);
 }
 
+// The executor's exception_ptr propagation makes the parallel error identical
+// to the serial one — same type, byte-identical message — instead of the old
+// what()-string relabelling.
+TEST(ParallelReader, ParallelErrorIdenticalToSerial) {
+  std::string text = synth_trace(6000);
+  text += "0,3,foo,6:1,999,1\n";
+  std::string serial_what;
+  try {
+    read_trace_text(text);
+    FAIL() << "serial parse accepted the corrupt trace";
+  } catch (const ac::TraceFormatError& e) {
+    serial_what = e.what();
+  }
+  try {
+    read_trace_text_parallel(text, 4);
+    FAIL() << "parallel parse accepted the corrupt trace";
+  } catch (const ac::TraceFormatError& e) {
+    EXPECT_STREQ(serial_what.c_str(), e.what());
+  }
+}
+
+TEST(ParallelReader, BufferParallelErrorIdenticalToSerial) {
+  // Corrupt block in the middle so later chunks exist to be cancelled.
+  std::string text = synth_trace(3000);
+  text += "0,3,foo,6:1,999,1\n";
+  text += synth_trace(3000);
+  std::string serial_what;
+  try {
+    read_trace_buffer(text);
+    FAIL() << "serial parse accepted the corrupt trace";
+  } catch (const ac::TraceFormatError& e) {
+    serial_what = e.what();
+  }
+  for (int threads : {2, 4}) {
+    try {
+      read_trace_buffer_parallel(text, threads);
+      FAIL() << "parallel parse accepted the corrupt trace";
+    } catch (const ac::TraceFormatError& e) {
+      EXPECT_STREQ(serial_what.c_str(), e.what()) << "threads=" << threads;
+    }
+  }
+}
+
 TEST(ParallelReader, MissingFileThrows) {
   EXPECT_THROW(read_trace_file_parallel("/no/such/file.txt"), ac::Error);
 }
