@@ -2,12 +2,15 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fcntl.h>
 #include <filesystem>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include "analysis/autocheck.hpp"
 #include "support/crc32.hpp"
 #include "support/error.hpp"
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 #include "support/telemetry.hpp"
 #include "vm/memory.hpp"
@@ -85,21 +88,40 @@ std::string read_file(const std::string& path) {
   return data;
 }
 
-void write_file(const std::string& path, const std::string& data) {
+void write_file(const std::string& path, const std::string& data, bool sync = false) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (!f) throw CheckpointError("cannot write: " + path);
-  bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  const std::size_t want = AC_FAULT_IO("ckpt.write_file.io", data.size());
+  bool ok = std::fwrite(data.data(), 1, want, f) == want && want == data.size();
+  if (ok && sync) ok = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
   if (std::fclose(f) != 0) ok = false;
   if (!ok) throw CheckpointError("short write: " + path);
 }
 
-/// Atomic replace: write to `tmp`, rename over `path` (the FtiLite protocol,
-/// so a failure mid-write never destroys the previous good record).
-void commit_file(const std::string& tmp, const std::string& path, const std::string& data) {
-  write_file(tmp, data);
+/// fsync the directory containing `path` so a just-renamed entry survives
+/// power loss, not only process death.
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw CheckpointError("cannot open dir for fsync: " + dir);
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) throw CheckpointError("dir fsync failed: " + dir);
+}
+
+/// Atomic replace: write to `tmp`, fsync, rename over `path`, fsync the
+/// directory (the FtiLite protocol) — a kill at any step leaves either the
+/// previous good record or the new one durably named, never a torn file.
+void commit_file(const std::string& tmp, const std::string& path, const std::string& data,
+                 bool sync) {
+  write_file(tmp, data, sync);
+  AC_FAULT("ckpt.writeback.pre_rename");
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw CheckpointError("cannot commit: " + path);
   }
+  AC_FAULT("ckpt.writeback.post_rename");
+  if (sync) fsync_parent_dir(path);
 }
 
 }  // namespace
@@ -393,7 +415,9 @@ std::string CheckpointEngine::delta_path(std::uint64_t seq, bool partner) const 
          strf(".delta.%llu.eng", static_cast<unsigned long long>(seq));
 }
 std::string CheckpointEngine::pack_path() const { return cfg_.dir + "/" + cfg_.tag + ".pack"; }
-std::string CheckpointEngine::tmp_path() const { return cfg_.dir + "/" + cfg_.tag + ".eng.tmp"; }
+std::string CheckpointEngine::tmp_path(bool partner) const {
+  return (partner ? cfg_.partner_dir : cfg_.dir) + "/" + cfg_.tag + ".eng.tmp";
+}
 
 // ---------------------------------------------------------------------------
 // Registration
@@ -635,6 +659,7 @@ void CheckpointEngine::persist(const EngineRecord& rec) {
   AC_SPAN("ckpt.writeback");
   const CheckpointImage* xor_base = rec.xor_base.get();
   EncodedSizes l1_sizes;
+  AC_FAULT("ckpt.writeback.encode");
   const std::string bytes = [&] {
     AC_SPAN("ckpt.encode");
     return rec.to_bytes(cfg_.l1_codec, xor_base, &l1_sizes);
@@ -645,7 +670,7 @@ void CheckpointEngine::persist(const EngineRecord& rec) {
   // validated by CRC + base_id + seq on recovery, so a torn delta only costs
   // the tail of the chain).
   const std::string local = full ? base_path(false) : delta_path(rec.seq, false);
-  commit_file(tmp_path(), local, bytes);
+  commit_file(tmp_path(false), local, bytes, cfg_.fsync_commits);
   if (full) {
     // A new base supersedes the previous chain: drop stale local deltas.
     namespace fs = std::filesystem;
@@ -664,7 +689,9 @@ void CheckpointEngine::persist(const EngineRecord& rec) {
     const std::string l2_bytes =
         cfg_.l2_codec == cfg_.l1_codec ? bytes : rec.to_bytes(cfg_.l2_codec, xor_base);
     l2_size = l2_bytes.size();
-    write_file(full ? base_path(true) : delta_path(rec.seq, true), l2_bytes);
+    AC_FAULT("ckpt.writeback.l2");
+    commit_file(tmp_path(true), full ? base_path(true) : delta_path(rec.seq, true), l2_bytes,
+                cfg_.fsync_commits);
     if (full) {
       namespace fs = std::filesystem;
       std::error_code ec;
@@ -681,6 +708,7 @@ void CheckpointEngine::persist(const EngineRecord& rec) {
     const std::string l3_bytes =
         cfg_.l3_codec == cfg_.l1_codec ? bytes : rec.to_bytes(cfg_.l3_codec, xor_base);
     l3_size = l3_bytes.size();
+    AC_FAULT("ckpt.writeback.l3_append");
     std::FILE* f = std::fopen(pack_path().c_str(), "ab");
     if (!f) throw CheckpointError("cannot append to archive: " + pack_path());
     const std::uint32_t len = static_cast<std::uint32_t>(l3_bytes.size());
@@ -751,6 +779,7 @@ bool CheckpointEngine::has_checkpoint() const {
 EngineRecord CheckpointEngine::load_record(const std::string& local, const std::string& partner,
                                            const CheckpointImage* base) const {
   try {
+    AC_FAULT("ckpt.recover.local");
     return EngineRecord::from_bytes(read_file(local), base);
   } catch (const CheckpointError&) {
     if (cfg_.level < EngineLevel::L2) throw;

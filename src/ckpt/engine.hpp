@@ -141,6 +141,12 @@ struct EngineConfig {
   /// Persist on a background writer thread (double-buffered); false = inline.
   bool async = true;
 
+  /// Durable commits: fsync record files before the rename that names them,
+  /// and fsync the directory after. Off trades crash-consistency across
+  /// power loss for speed (process death still can't tear a named record —
+  /// the temp-file + rename protocol holds either way).
+  bool fsync_commits = true;
+
   /// Per-level payload codecs (codec.hpp). Defaults are raw; typical tuning
   /// keeps L1 raw or RLE for commit speed and gives the L3 packed archive
   /// the full XOR+RLE+LZ chain. Records are self-describing, so levels can
@@ -254,7 +260,7 @@ class CheckpointEngine {
   std::string base_path(bool partner) const;
   std::string delta_path(std::uint64_t seq, bool partner) const;
   std::string pack_path() const;
-  std::string tmp_path() const;
+  std::string tmp_path(bool partner = false) const;
 
   EngineRecord capture(std::int64_t iter, vm::Arena& arena,
                        const std::vector<ProtectedRegion>& regions);

@@ -1,0 +1,58 @@
+// Self-describing, replayable corpus entries for the fuzz campaign.
+//
+// An entry stores *how to reproduce a case*, not the case's bytes: the
+// mini-app / scale / codec chain regenerate the base artifact
+// deterministically (SplitMix64-seeded workloads, canonical serialization),
+// and the recorded mutation ops re-corrupt it — so a file is a few lines of
+// text that replays bit-identically on any platform. Format:
+//
+//   ACFZ1
+//   app: IS
+//   kind: mctb            # mctb | ckpt | frame | crash
+//   codec: rle+lz
+//   scale: 1
+//   seed: 42
+//   fault: ckpt.writeback.pre_rename=kill:skip=1   # optional
+//   outcome: clean-error
+//   detail: MCTB records section CRC mismatch (chunk 0)   # informational
+//   mutation: flip 1234 5 0
+//
+// `outcome` is the classification the case produced when recorded; replay
+// (campaign.hpp) asserts it reproduces. `detail` is context for humans and
+// is not compared.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/mutate.hpp"
+
+namespace ac::fuzz {
+
+struct CorpusEntry {
+  std::string app = "IS";
+  std::string kind = "mctb";   // mctb | ckpt | frame | crash
+  std::string codec = "raw";   // codec chain spec (CodecChain::parse)
+  int scale = 1;
+  std::uint64_t seed = 0;      // campaign seed that produced the entry
+  std::vector<Mutation> mutations;
+  std::string fault;           // "point=action[:opts]"; empty = none armed
+  std::string outcome;         // recorded classification (outcome_name)
+  std::string detail;          // error text / note; informational only
+
+  bool operator==(const CorpusEntry&) const = default;
+};
+
+std::string corpus_entry_to_string(const CorpusEntry& e);
+/// Throws ac::Error on bad magic / malformed lines / unknown keys.
+CorpusEntry corpus_entry_from_string(const std::string& text);
+
+CorpusEntry load_corpus_entry(const std::string& path);
+/// Writes `<dir>/<app>-<kind>-<hash>.acfz` (content-addressed, lowercase app)
+/// and returns the path.
+std::string save_corpus_entry(const CorpusEntry& e, const std::string& dir);
+
+/// All *.acfz files under `dir`, sorted by name (deterministic replay order).
+std::vector<std::string> list_corpus(const std::string& dir);
+
+}  // namespace ac::fuzz

@@ -1,0 +1,140 @@
+#include "fuzz/mutate.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace ac::fuzz {
+
+const char* mut_op_name(MutOp op) {
+  switch (op) {
+    case MutOp::FlipBit: return "flip";
+    case MutOp::SetByte: return "set";
+    case MutOp::Truncate: return "trunc";
+    case MutOp::Extend: return "extend";
+    case MutOp::ZeroRange: return "zero";
+    case MutOp::Splice: return "splice";
+    case MutOp::ForgeU32: return "forge32";
+  }
+  return "?";
+}
+
+namespace {
+
+MutOp parse_mut_op(const std::string& name) {
+  for (const MutOp op : {MutOp::FlipBit, MutOp::SetByte, MutOp::Truncate, MutOp::Extend,
+                         MutOp::ZeroRange, MutOp::Splice, MutOp::ForgeU32}) {
+    if (name == mut_op_name(op)) return op;
+  }
+  throw Error("corpus: unknown mutation op '" + name + "'");
+}
+
+}  // namespace
+
+void apply_mutation(std::string& bytes, const Mutation& m) {
+  const std::size_t n = bytes.size();
+  switch (m.op) {
+    case MutOp::FlipBit:
+      if (n) bytes[m.a % n] = static_cast<char>(bytes[m.a % n] ^ (1u << (m.b % 8)));
+      break;
+    case MutOp::SetByte:
+      if (n) bytes[m.a % n] = static_cast<char>(m.b & 0xFF);
+      break;
+    case MutOp::Truncate:
+      if (n) bytes.resize(m.a % n);
+      break;
+    case MutOp::Extend:
+      bytes.append(std::min<std::uint64_t>(std::max<std::uint64_t>(m.a, 1), 4096),
+                   static_cast<char>(m.b & 0xFF));
+      break;
+    case MutOp::ZeroRange:
+      if (n) {
+        const std::size_t off = m.a % n;
+        const std::size_t len = std::min<std::size_t>(static_cast<std::size_t>(m.b), n - off);
+        std::memset(bytes.data() + off, 0, len);
+      }
+      break;
+    case MutOp::Splice:
+      if (n) {
+        const std::size_t src = m.a % n;
+        const std::size_t dst = m.b % n;
+        const std::size_t len = std::min<std::size_t>(static_cast<std::size_t>(m.c),
+                                                      std::min(n - src, n - dst));
+        std::memmove(bytes.data() + dst, bytes.data() + src, len);
+      }
+      break;
+    case MutOp::ForgeU32:
+      if (n >= 4) {
+        const std::size_t off = m.a % (n - 3);
+        const std::uint32_t v = static_cast<std::uint32_t>(m.b);
+        std::memcpy(bytes.data() + off, &v, 4);
+      }
+      break;
+  }
+}
+
+void apply_mutations(std::string& bytes, const std::vector<Mutation>& ms) {
+  for (const Mutation& m : ms) apply_mutation(bytes, m);
+}
+
+Mutation random_mutation(SplitMix64& rng, std::size_t size) {
+  Mutation m;
+  const std::uint64_t span = size ? size : 1;
+  // Weighted toward small point edits (the classic corpus mix); structural
+  // edits (truncate/splice/forge) get enough mass to probe framing checks.
+  const std::uint64_t roll = rng.below(100);
+  if (roll < 30) {
+    m.op = MutOp::FlipBit;
+    m.a = rng.below(span);
+    m.b = rng.below(8);
+  } else if (roll < 50) {
+    m.op = MutOp::SetByte;
+    m.a = rng.below(span);
+    m.b = rng.below(256);
+  } else if (roll < 65) {
+    m.op = MutOp::Truncate;
+    m.a = rng.below(span);
+  } else if (roll < 75) {
+    m.op = MutOp::ZeroRange;
+    m.a = rng.below(span);
+    m.b = 1 + rng.below(64);
+  } else if (roll < 85) {
+    m.op = MutOp::Splice;
+    m.a = rng.below(span);
+    m.b = rng.below(span);
+    m.c = 1 + rng.below(256);
+  } else if (roll < 95) {
+    m.op = MutOp::ForgeU32;
+    m.a = rng.below(span);
+    // Half the forgeries are boundary-ish values that stress length checks.
+    m.b = rng.chance(0.5) ? (rng.chance(0.5) ? 0xFFFFFFFFull : 0x7FFFFFFFull)
+                          : rng.below(1ull << 32);
+  } else {
+    m.op = MutOp::Extend;
+    m.a = 1 + rng.below(64);
+    m.b = rng.below(256);
+  }
+  return m;
+}
+
+std::string mutation_str(const Mutation& m) {
+  std::ostringstream os;
+  os << mut_op_name(m.op) << ' ' << m.a << ' ' << m.b << ' ' << m.c;
+  return os.str();
+}
+
+Mutation parse_mutation(const std::string& line) {
+  std::istringstream is(line);
+  std::string op;
+  Mutation m;
+  if (!(is >> op)) throw Error("corpus: empty mutation line");
+  m.op = parse_mut_op(op);
+  if (!(is >> m.a >> m.b >> m.c)) throw Error("corpus: malformed mutation line '" + line + "'");
+  std::string extra;
+  if (is >> extra) throw Error("corpus: trailing garbage in mutation line '" + line + "'");
+  return m;
+}
+
+}  // namespace ac::fuzz

@@ -1,0 +1,57 @@
+// Corpus-style byte mutation for the fuzz campaign driver (campaign.hpp).
+//
+// A Mutation is a small, self-describing edit of a byte buffer — bit flip,
+// byte set, truncation, extension, zero-fill, range splice, u32 forgery (the
+// length/CRC-field attack). Offsets are reduced modulo the buffer's current
+// size at apply time, so a recorded mutation replays against any
+// deterministically regenerated base artifact without storing the bytes
+// themselves: a corpus entry is (how to build the base) + (the ops), a few
+// lines of text.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace ac::fuzz {
+
+enum class MutOp : std::uint8_t {
+  FlipBit,   // a = offset, b = bit index (0-7)
+  SetByte,   // a = offset, b = value
+  Truncate,  // a = new size (mod old size)
+  Extend,    // a = extra byte count (1-4096), b = fill value
+  ZeroRange, // a = offset, b = length
+  Splice,    // copy [a, a+c) over [b, b+c)
+  ForgeU32,  // a = offset, b = little-endian value (length/CRC forgery)
+};
+
+struct Mutation {
+  MutOp op = MutOp::FlipBit;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+
+  bool operator==(const Mutation&) const = default;
+};
+
+const char* mut_op_name(MutOp op);
+
+/// Apply in place. A mutation never throws and always terminates: offsets
+/// wrap modulo the current size, lengths clamp to the buffer end, and an
+/// empty buffer is left empty (only Extend can grow it again).
+void apply_mutation(std::string& bytes, const Mutation& m);
+
+void apply_mutations(std::string& bytes, const std::vector<Mutation>& ms);
+
+/// Draw one random mutation suitable for a buffer of `size` bytes.
+Mutation random_mutation(SplitMix64& rng, std::size_t size);
+
+/// "flip 123 5" / "splice 10 200 32" — the corpus-file line format.
+std::string mutation_str(const Mutation& m);
+/// Inverse of mutation_str; throws ac::Error on malformed input.
+Mutation parse_mutation(const std::string& line);
+
+}  // namespace ac::fuzz

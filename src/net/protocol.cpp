@@ -79,8 +79,21 @@ const char* frame_type_name(FrameType t) {
   return "?";
 }
 
+namespace {
+
+/// The frame CRC covers the encoded type word *and* the payload: the type
+/// field sits outside the payload, and without this a single flipped type bit
+/// would yield a valid frame of a different kind (found by the fuzz
+/// campaign's forge/flip mutations over encoded frames).
+std::uint32_t frame_crc(FrameType type, std::string_view payload) {
+  const std::uint32_t t = static_cast<std::uint32_t>(type);
+  return crc32(payload.data(), payload.size(), crc32(&t, 4));
+}
+
+}  // namespace
+
 void Frame::verify_crc() const {
-  const std::uint32_t actual = crc32(payload.data(), payload.size());
+  const std::uint32_t actual = frame_crc(type, payload);
   if (actual != payload_crc) {
     throw ProtocolError(strf("%s frame payload CRC mismatch (header 0x%08x, payload 0x%08x)",
                              frame_type_name(type), payload_crc, actual));
@@ -91,7 +104,7 @@ std::string encode_frame(FrameType type, std::string_view payload) {
   std::string out;
   out.reserve(kFrameHeaderSize + payload.size());
   put_u32(out, static_cast<std::uint32_t>(type));
-  put_u32(out, crc32(payload.data(), payload.size()));
+  put_u32(out, frame_crc(type, payload));
   put_u64(out, payload.size());
   out.append(payload);
   return out;

@@ -20,7 +20,9 @@
 // Frame layout (16-byte header, little-endian, then the payload):
 //
 //   u32 type         FrameType below; unknown values are a ProtocolError
-//   u32 payload_crc  CRC32 of the payload bytes
+//   u32 payload_crc  CRC32 of the encoded type word followed by the payload
+//                    bytes — a flipped type bit cannot silently turn one
+//                    frame kind into another
 //   u64 payload_len  capped by max_frame_bytes — a forged length can never
 //                    trigger a giant allocation
 //

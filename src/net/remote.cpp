@@ -42,7 +42,11 @@ void BlockingFrameStream::send(FrameType type, std::string_view payload) {
 RemoteSink::RemoteSink(const std::string& host, std::uint16_t port, RemoteSinkOptions opts)
     : opts_(std::move(opts)) {
   if (opts_.chunk_records == 0) opts_.chunk_records = 1;
-  sock_ = connect_tcp(host, port);
+  ConnectRetry retry;
+  retry.timeout_ms = opts_.connect_timeout_ms;
+  retry.retries = opts_.connect_retries;
+  retry.backoff_ms = opts_.connect_backoff_ms;
+  sock_ = connect_tcp_retry(host, port, retry);
   Hello hello;
   hello.codec = opts_.codec;
   send_frame(FrameType::Hello, hello.encode());

@@ -66,6 +66,13 @@ struct RemoteSinkOptions {
   CodecChain codec = trace::MctbOptions{}.codec;
   /// Fail a read that stalls longer than this (ms); <0 = wait forever.
   int io_timeout_ms = 120000;
+  /// Bound each TCP connect attempt (ms); <0 = the OS default.
+  int connect_timeout_ms = 10000;
+  /// Extra connect attempts after the first, with exponential backoff
+  /// (connect_backoff_ms, doubled per attempt, capped at 2 s) — rides out a
+  /// daemon that is still starting up.
+  int connect_retries = 0;
+  int connect_backoff_ms = 100;
 };
 
 /// Streams TraceRecords to an acd daemon: records are interned into a staging

@@ -17,6 +17,7 @@
 #include "analysis/session.hpp"
 #include "net/remote.hpp"
 #include "support/error.hpp"
+#include "support/faultpoint.hpp"
 #include "support/metrics.hpp"
 #include "support/strings.hpp"
 #include "support/telemetry.hpp"
@@ -173,14 +174,35 @@ void Server::run() {
     reap_done(/*join_all=*/false);
   }
 
-  // Graceful shutdown: stop accepting, let every worker drain its queue and
-  // finish an in-flight report, then join + close everything.
+  // Graceful drain: stop accepting, close the inbound side of every
+  // connection, and let each worker finish its queued frames and answer any
+  // pending ReportRequest. Past drain_timeout_ms, force-shutdown lingering
+  // sockets so a worker blocked on a dead peer's TCP window fails fast
+  // instead of wedging the exit. (A worker mid-analysis still completes its
+  // compute — threads are joined, never cancelled.)
   listen_sock_.close();
   for (auto& up : conns_) {
     ::shutdown(up->sock.fd(), SHUT_RD);
     std::lock_guard<std::mutex> lk(up->mu);
     up->rx_closed = true;
     up->cv.notify_all();
+  }
+  if (opts_.drain_timeout_ms > 0) {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(opts_.drain_timeout_ms);
+    bool all_done = false;
+    while (!all_done && Clock::now() < deadline) {
+      all_done = true;
+      for (auto& up : conns_) {
+        if (!up->done.load(std::memory_order_acquire)) {
+          all_done = false;
+          break;
+        }
+      }
+      if (!all_done) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    for (auto& up : conns_) {
+      if (!up->done.load(std::memory_order_acquire)) ::shutdown(up->sock.fd(), SHUT_RDWR);
+    }
   }
   reap_done(/*join_all=*/true);
 }
@@ -367,6 +389,7 @@ void Server::conn_worker(Conn& c) {
 std::string Server::render_report(const std::shared_ptr<RemoteSource>& src,
                                   const ReportSpec& spec) {
   AC_SPAN("net.session");
+  AC_FAULT("net.server.render");
   analysis::AnalysisOptions aopts;
   aopts.mli_mode = spec.mli_mode;
   aopts.build_ddg = spec.build_ddg;

@@ -50,6 +50,11 @@ struct ServerOptions {
   std::uint64_t max_frame_bytes = kDefaultMaxFrameBytes;
   /// Reap a connection with no inbound traffic for this long; <= 0 disables.
   int idle_timeout_ms = 300000;
+  /// Graceful-drain bound on shutdown: workers get this long to finish
+  /// queued frames and answer pending ReportRequests before their sockets
+  /// are force-shut (SHUT_RDWR, so blocked peers fail fast instead of
+  /// hanging the exit). <= 0 waits for the drain without a deadline.
+  int drain_timeout_ms = 10000;
 };
 
 class Server {

@@ -1,7 +1,9 @@
 #include "net/socket.hpp"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <fcntl.h>
@@ -10,9 +12,11 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <thread>
 #include <unistd.h>
 
 #include "support/error.hpp"
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 
 namespace ac::net {
@@ -98,7 +102,38 @@ struct AddrInfoHolder {
 
 }  // namespace
 
-Socket connect_tcp(const std::string& host, std::uint16_t port) {
+namespace {
+
+/// One bounded connect attempt: non-blocking connect, poll(POLLOUT) up to
+/// timeout_ms, then SO_ERROR tells whether the handshake succeeded. Returns
+/// 0 on success, the failing errno otherwise (ETIMEDOUT on poll expiry).
+int connect_with_timeout(int fd, const sockaddr* addr, socklen_t len, int timeout_ms) {
+  set_nonblocking(fd, true);
+  int crc;
+  do {
+    crc = ::connect(fd, addr, len);
+  } while (crc != 0 && errno == EINTR);
+  if (crc != 0) {
+    if (errno != EINPROGRESS) return errno;
+    pollfd p{fd, POLLOUT, 0};
+    int rc;
+    do {
+      rc = ::poll(&p, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return errno;
+    if (rc == 0) return ETIMEDOUT;
+    int soerr = 0;
+    socklen_t slen = sizeof soerr;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &slen) != 0) return errno;
+    if (soerr != 0) return soerr;
+  }
+  set_nonblocking(fd, false);
+  return 0;
+}
+
+}  // namespace
+
+Socket connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms) {
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -117,6 +152,15 @@ Socket connect_tcp(const std::string& host, std::uint16_t port) {
       last_errno = errno;
       continue;
     }
+    if (timeout_ms >= 0) {
+      const int err = connect_with_timeout(s.fd(), a->ai_addr, a->ai_addrlen, timeout_ms);
+      if (err == 0) {
+        set_nodelay(s.fd());
+        return s;
+      }
+      last_errno = err;
+      continue;
+    }
     int crc;
     do {
       crc = ::connect(s.fd(), a->ai_addr, a->ai_addrlen);
@@ -129,6 +173,23 @@ Socket connect_tcp(const std::string& host, std::uint16_t port) {
   }
   throw ProtocolError(strf("cannot connect to %s:%u: %s", node, static_cast<unsigned>(port),
                            std::strerror(last_errno ? last_errno : ECONNREFUSED)));
+}
+
+Socket connect_tcp_retry(const std::string& host, std::uint16_t port, const ConnectRetry& retry) {
+  const int attempts = 1 + std::max(retry.retries, 0);
+  int backoff = std::max(retry.backoff_ms, 1);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return connect_tcp(host, port, retry.timeout_ms);
+    } catch (const ProtocolError& e) {
+      if (attempt >= attempts) {
+        throw ProtocolError(strf("%s (after %d attempt%s)", e.what(), attempt,
+                                 attempt == 1 ? "" : "s"));
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    backoff = std::min(backoff * 2, 2000);
+  }
 }
 
 Socket listen_tcp(const std::string& host, std::uint16_t port, int backlog,
@@ -196,6 +257,7 @@ void wait_io(int fd, short events) {
 }  // namespace
 
 void write_all(int fd, const void* data, std::size_t n) {
+  AC_FAULT("net.write");
   const char* p = static_cast<const char*>(data);
   while (n > 0) {
     // MSG_NOSIGNAL: a dead peer yields EPIPE even if the process-wide SIGPIPE
@@ -226,6 +288,7 @@ void write_all(int fd, const void* data, std::size_t n) {
 }
 
 std::size_t read_some(int fd, void* buf, std::size_t n, int timeout_ms) {
+  AC_FAULT("net.read");
   for (;;) {
     if (timeout_ms >= 0) {
       // Poll first so the timeout also covers blocking fds.

@@ -57,7 +57,20 @@ HostPort parse_host_port(const std::string& spec);
 
 /// Connect to host:port over TCP (IPv4/IPv6 via getaddrinfo), with
 /// TCP_NODELAY set. Throws ProtocolError on resolution/connect failure.
-Socket connect_tcp(const std::string& host, std::uint16_t port);
+/// `timeout_ms` >= 0 bounds each address's connect attempt (non-blocking
+/// connect + poll); < 0 blocks until the kernel gives up.
+Socket connect_tcp(const std::string& host, std::uint16_t port, int timeout_ms = -1);
+
+/// Bounded exponential-backoff retry around connect_tcp: `retries` extra
+/// attempts after the first, sleeping backoff_ms, 2*backoff_ms, ... (capped
+/// at 2 s) between them. A refused/timed-out final attempt throws
+/// ProtocolError naming the attempt count.
+struct ConnectRetry {
+  int timeout_ms = -1;  // per-attempt connect timeout; < 0 = OS default
+  int retries = 0;      // extra attempts after the first
+  int backoff_ms = 100; // initial sleep between attempts (doubles, capped 2 s)
+};
+Socket connect_tcp_retry(const std::string& host, std::uint16_t port, const ConnectRetry& retry);
 
 /// Bind + listen on host:port (port 0 = ephemeral); the actually bound port
 /// is returned through `bound_port`. Throws ProtocolError on failure.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/faultpoint.hpp"
+
 namespace ac {
 
 void FailState::capture(std::size_t chunk) noexcept {
@@ -83,6 +85,7 @@ void run_chunks(std::size_t n, const ExecutorOptions& opts,
     // task + consume, stop at the first failure, error kept in `fail`.
     for (std::size_t c = 0; c < n && !fail.cancelled(); ++c) {
       try {
+        AC_FAULT("exec.chunk.claim");
         task(c);
         if (on_ready) on_ready(c);
       } catch (...) {
@@ -125,6 +128,7 @@ void run_chunks(std::size_t n, const ExecutorOptions& opts,
         c = next++;
       }
       try {
+        AC_FAULT("exec.chunk.claim");
         task(c);
       } catch (...) {
         fail.capture(c);

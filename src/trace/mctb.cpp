@@ -7,6 +7,7 @@
 #include "support/crc32.hpp"
 #include "support/executor.hpp"
 #include "support/error.hpp"
+#include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 #include "support/telemetry.hpp"
 #include "support/timer.hpp"
@@ -290,6 +291,7 @@ void decode_operand_chunk(std::string_view raw, const SectionHeader& sec,
 
 std::string decode_payload(std::string_view bytes, const SectionHeader& sec, const char* what) {
   AC_SPAN("codec.decode_section");
+  AC_FAULT("mctb.decode.section");
   const std::uint64_t t0 = now_ns();
   if (sec.payload_off > bytes.size() || sec.payload_size > bytes.size() - sec.payload_off) {
     throw TraceFormatError(strf("MCTB %s section payload [%llu, +%llu) exceeds the %zu-byte "
@@ -300,7 +302,10 @@ std::string decode_payload(std::string_view bytes, const SectionHeader& sec, con
   }
   const std::string_view payload = bytes.substr(static_cast<std::size_t>(sec.payload_off),
                                                 static_cast<std::size_t>(sec.payload_size));
-  if (crc32(payload.data(), payload.size()) != sec.payload_crc) {
+  // fault::weakened lets the fuzz self-test plant a bug here and prove the
+  // campaign finds the resulting silent corruption; always intact in prod.
+  if (crc32(payload.data(), payload.size()) != sec.payload_crc &&
+      !fault::weakened("mctb.section_crc")) {
     throw TraceFormatError(strf("MCTB %s section CRC mismatch (chunk %u)", what, sec.chunk));
   }
   try {
@@ -344,6 +349,7 @@ std::string mctb_to_bytes(const TraceBuffer& buf, const MctbOptions& opts) {
     s.aux = aux;
     s.raw_size = raw.size();
     s.codec = opts.codec;
+    AC_FAULT("mctb.encode.section");
     {
       AC_SPAN("codec.encode_section");
       const std::uint64_t t0 = now_ns();

@@ -5,6 +5,9 @@
 // reports served over the socket are byte-identical to local analysis.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
+#include <chrono>
 #include <cstring>
 #include <thread>
 
@@ -16,6 +19,7 @@
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "support/error.hpp"
+#include "support/faultpoint.hpp"
 #include "trace/mctb.hpp"
 
 namespace {
@@ -470,6 +474,90 @@ TEST(IdentityTest, ConcurrentClientsStayIsolated) {
     SCOPED_TRACE(names[i]);
     EXPECT_EQ(got[i], expected[i]);
   }
+}
+
+// --- connect timeout + retry ------------------------------------------------
+
+/// Grab an ephemeral loopback port and release it — a port that is very
+/// likely free for the next few milliseconds.
+std::uint16_t reserve_port() {
+  std::uint16_t port = 0;
+  Socket l = listen_tcp("127.0.0.1", 0, 1, &port);
+  return port;
+}
+
+TEST(ConnectRetryTest, DeadAddressFailsFastNamingTheAttemptCount) {
+  const std::uint16_t port = reserve_port();  // nobody is listening here now
+  ConnectRetry retry;
+  retry.timeout_ms = 250;
+  retry.retries = 2;
+  retry.backoff_ms = 10;
+  try {
+    connect_tcp_retry("127.0.0.1", port, retry);
+    FAIL() << "connect to a dead port succeeded";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("after 3 attempts"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ConnectRetryTest, BackoffRidesOutALateStartingListener) {
+  const std::uint16_t port = reserve_port();
+  std::thread listener([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    std::uint16_t bound = 0;
+    Socket l = listen_tcp("127.0.0.1", port, 1, &bound);
+    Socket conn(::accept(l.fd(), nullptr, nullptr));
+    EXPECT_TRUE(conn.valid());
+  });
+  ConnectRetry retry;
+  retry.timeout_ms = 1000;
+  retry.retries = 30;
+  retry.backoff_ms = 25;
+  Socket s = connect_tcp_retry("127.0.0.1", port, retry);
+  EXPECT_TRUE(s.valid());
+  s.close();
+  listener.join();
+}
+
+TEST(ConnectRetryTest, RemoteSinkSurfacesExhaustedRetries) {
+  const std::uint16_t port = reserve_port();
+  RemoteSinkOptions opts;
+  opts.connect_timeout_ms = 250;
+  opts.connect_retries = 1;
+  opts.connect_backoff_ms = 10;
+  EXPECT_THROW(RemoteSink("127.0.0.1", port, opts), ProtocolError);
+}
+
+// --- graceful drain ---------------------------------------------------------
+
+TEST(DaemonTest, StopDrainsInFlightReportBeforeClosing) {
+  // A stop request landing mid-render (the delay fault holds the render for
+  // 500 ms) must still let the in-flight report reach the client.
+  ServerOptions opts;
+  opts.drain_timeout_ms = 10000;
+  LoopbackServer lb(opts);
+
+  fault::FaultSpec spec;
+  spec.action = fault::Action::Delay;
+  spec.delay_ms = 500;
+  spec.count = 1;
+  fault::arm("net.server.render", spec);
+
+  std::string body;
+  std::thread client([&] {
+    RemoteSink sink("127.0.0.1", lb.server.port());
+    const trace::TraceBuffer buf = fig4_buffer();
+    for (std::size_t i = 0; i < buf.size(); ++i) sink.append(buf.materialize(i));
+    body = sink.fetch_report(fig4_spec());
+    sink.close();
+  });
+  // Let the request land and enter the delayed render, then ask for shutdown.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  lb.server.request_stop();
+  client.join();
+  fault::disarm_all();
+  EXPECT_NE(body.find("\"critical\""), std::string::npos);
 }
 
 }  // namespace

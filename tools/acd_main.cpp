@@ -40,6 +40,9 @@ int usage() {
                "  --queue-depth N      per-connection frame queue bound (default 8)\n"
                "  --idle-timeout MS    reap connections idle for MS ms; 0 disables\n"
                "                       (default 300000)\n"
+               "  --drain-timeout MS   on SIGTERM/SIGINT, wait up to MS ms for in-flight\n"
+               "                       requests before closing sockets; 0 = immediate\n"
+               "                       (default 10000)\n"
                "  --max-frame-mb N     per-frame payload cap in MiB (default 256)\n"
                "  --metrics-dump [P]   on shutdown, write MetricsRegistry JSON to P\n"
                "                       (default stdout)\n"
@@ -92,6 +95,8 @@ int main(int argc, char** argv) {
       opts.queue_depth = static_cast<std::size_t>(parse_int_arg(arg, next(), 1));
     } else if (arg == "--idle-timeout") {
       opts.idle_timeout_ms = parse_int_arg(arg, next(), 0);
+    } else if (arg == "--drain-timeout") {
+      opts.drain_timeout_ms = parse_int_arg(arg, next(), 0);
     } else if (arg == "--max-frame-mb") {
       opts.max_frame_bytes = static_cast<std::uint64_t>(parse_int_arg(arg, next(), 1)) << 20;
     } else if (arg == "--metrics-dump") {

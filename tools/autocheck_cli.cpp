@@ -25,9 +25,12 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "analysis/loopfinder.hpp"
 #include "analysis/session.hpp"
 #include "ckpt/codec.hpp"
+#include "fuzz/campaign.hpp"
 #include "net/remote.hpp"
 #include "net/socket.hpp"
 #include "support/error.hpp"
@@ -59,8 +62,17 @@ int usage() {
                "  --metrics OUT.json  write the flat metrics registry JSON\n"
                "  --connect HOST:PORT stream the trace to an acd analysis daemon and print\n"
                "                      the report it serves instead of analyzing locally\n"
+               "  --connect-timeout-ms MS  bound each TCP connect attempt (default 10000)\n"
+               "  --connect-retries N      extra connect attempts with exponential backoff\n"
+               "                      (default 0; rides out a daemon still starting)\n"
                "  --no-timings        omit the timings object from --json output\n"
-               "                      (deterministic bytes for diffing)\n");
+               "                      (deterministic bytes for diffing)\n"
+               "       autocheck --fuzz-campaign [--budget 45s|N] [--seed S] [--corpus DIR]\n"
+               "                 [--apps CSV] [--kinds mctb,ckpt,frame,crash] [--codecs CSV]\n"
+               "                 [--replay FILE] [--replay-corpus DIR] [--list-fault-points]\n"
+               "                 [--timeout MS] [--no-shrink] [-v]\n"
+               "                      fault-injection / byte-mutation campaign over the\n"
+               "                      ckpt/MCTB/net stack (see src/fuzz/campaign.hpp)\n");
   return 2;
 }
 
@@ -89,10 +101,19 @@ int main(int argc, char** argv) {
   // write error, never kill the process.
   ac::net::ignore_sigpipe();
   if (argc < 2) return usage();
+  if (std::string(argv[1]) == "--fuzz-campaign") {
+    try {
+      return ac::fuzz::fuzz_main(std::vector<std::string>(argv + 2, argv + argc));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "autocheck: %s\n", e.what());
+      return 2;
+    }
+  }
   std::string trace_path = argv[1];
   ac::analysis::MclRegion region;
   ac::analysis::AnalysisOptions opts;
   ac::net::HostPort connect_to;
+  ac::net::RemoteSinkOptions connect_opts;
   bool connect = false;
   bool with_timings = true;
   std::string dot_path;
@@ -168,6 +189,10 @@ int main(int argc, char** argv) {
       }
       if (connect_to.host.empty()) connect_to.host = "127.0.0.1";
       connect = true;
+    } else if (arg == "--connect-timeout-ms") {
+      connect_opts.connect_timeout_ms = parse_int_arg(arg, next(), 1);
+    } else if (arg == "--connect-retries") {
+      connect_opts.connect_retries = parse_int_arg(arg, next(), 0);
     } else if (arg == "--no-timings") {
       with_timings = false;
     } else if (arg == "--profile") {
@@ -274,7 +299,7 @@ int main(int argc, char** argv) {
         return 2;
       }
       AC_SPAN("net.thin_client");
-      ac::net::RemoteSink remote(connect_to.host, connect_to.port);
+      ac::net::RemoteSink remote(connect_to.host, connect_to.port, connect_opts);
       const ac::trace::TraceBuffer& buf = source->buffer();
       for (std::size_t i = 0; i < buf.size(); ++i) remote.append(buf.materialize(i));
       ac::net::ReportSpec spec;
