@@ -13,7 +13,8 @@
 //
 // plus per-codec encode/decode throughput over each app's real protected
 // snapshot (base = first commit, input = last commit, the XOR-realistic
-// drift). `--smoke` runs a 4-app subset for CI logs: compression-ratio
+// drift), and L3 packed-archive append/recover MB/s over each app's real
+// MCTA frame stream. `--smoke` runs a 4-app subset for CI logs: compression-ratio
 // regressions show up as a drop in the "apps improved" count, which is also
 // the exit status. `--json PATH` emits the machine-readable BENCH_engine.json
 // trajectory record (app, bytes, wall-ns, peak-RSS) that CI uploads as an
@@ -22,6 +23,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 #include "apps/harness.hpp"
 #include "ckpt/blcr.hpp"
@@ -31,6 +33,7 @@
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
+#include "trace/mctb.hpp"
 
 using namespace ac;
 
@@ -70,6 +73,93 @@ double mbps(std::size_t bytes, double seconds) {
   return seconds > 0 ? static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds : 0.0;
 }
 
+std::string slurp(const std::string& path) {
+  std::string out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return out;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+/// L3 packed-archive throughput on one app: run a real inline L3 engine, then
+/// (a) re-append the archive's records through the same frame-build + append
+/// path persist() uses and (b) strip the file chain so recover() can only
+/// replay the MCTA frame stream, timing both.
+struct ArchiveResult {
+  std::uint64_t pack_bytes = 0;
+  double append_mbps = 0;
+  double recover_mbps = 0;
+};
+
+ArchiveResult bench_archive(const ir::Module& module, const analysis::MclRegion& region,
+                            const std::vector<std::string>& protect, const std::string& tag) {
+  namespace fs = std::filesystem;
+  ckpt::EngineConfig cfg;
+  cfg.dir = "/tmp";
+  cfg.partner_dir = "/tmp/ac_bench_engine_partner";
+  fs::create_directories(cfg.partner_dir);
+  cfg.tag = tag;
+  cfg.level = ckpt::EngineLevel::L3;
+  cfg.async = false;
+  cfg.full_every = 3;
+  ckpt::CheckpointEngine(cfg).reset();
+  apps::run_with_engine(module, region, protect, cfg);
+
+  ArchiveResult out;
+  const std::string pack_path = cfg.dir + "/" + cfg.tag + ".pack";
+  const std::string pack = slurp(pack_path);
+  out.pack_bytes = pack.size();
+  if (pack.empty()) return out;
+
+  // Walk the frames once so the re-append loop measures frame construction
+  // (header + CRC) plus the append write, not the parse.
+  std::vector<trace::MctbFrameView> frames;
+  trace::MctbFrameView view;
+  for (std::size_t pos = 0; trace::read_mctb_frame(pack, pos, view); pos += view.frame_size) {
+    frames.push_back(view);
+  }
+  if (frames.empty()) return out;
+
+  constexpr int kReps = 4;
+  const std::string scratch = pack_path + ".bench";
+  std::size_t appended = 0;
+  WallTimer append_timer;
+  for (int r = 0; r < kReps; ++r) {
+    for (const trace::MctbFrameView& fr : frames) {
+      const std::string frame = trace::mctb_frame(fr.kind, fr.seq, fr.aux, fr.payload, fr.codec);
+      std::FILE* f = std::fopen(scratch.c_str(), "ab");
+      if (!f) return out;
+      const bool ok = std::fwrite(frame.data(), 1, frame.size(), f) == frame.size();
+      std::fclose(f);
+      if (!ok) return out;
+      appended += frame.size();
+    }
+  }
+  out.append_mbps = mbps(appended, append_timer.seconds());
+  std::error_code ec;
+  fs::remove(scratch, ec);
+
+  // Leave only the .pack behind: recovery must decode the archive history.
+  for (const std::string& dir : {cfg.dir, cfg.partner_dir}) {
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(cfg.tag + ".", 0) == 0 && name != cfg.tag + ".pack") {
+        fs::remove(entry.path(), ec);
+      }
+    }
+  }
+  WallTimer recover_timer;
+  for (int r = 0; r < kReps; ++r) {
+    if (ckpt::CheckpointEngine(cfg).recover().iteration() < 0) return out;
+  }
+  out.recover_mbps = mbps(pack.size() * kReps, recover_timer.seconds());
+  ckpt::CheckpointEngine(cfg).reset();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,6 +183,7 @@ int main(int argc, char** argv) {
   TextTable table({"Name", "BLCR stream", "Critical full", "Incr raw", "Incr rle", "Incr xor+rle",
                    "Incr chain", "Delta xor+rle/raw"});
   TextTable tput({"Name", "Codec", "Ratio", "Enc MB/s", "Dec MB/s"});
+  TextTable arch({"Name", "Pack", "Append MB/s", "Recover MB/s"});
 
   int incr_beats_blcr = 0;
   int xorrle_beats_raw = 0;
@@ -110,6 +201,7 @@ int main(int argc, char** argv) {
     std::uint64_t bytes = 0;       // incremental L1 bytes (raw codec)
     double wall_ns = 0;            // whole per-app benchmark wall time
     long peak_rss_kb = 0;
+    ArchiveResult archive;         // L3 MCTA pack append/recover throughput
   };
   std::vector<JsonRow> json_rows;
 
@@ -199,10 +291,16 @@ int main(int argc, char** argv) {
       }
     }
 
+    // L3 packed-archive append/recover throughput (MCTA frame stream).
+    const ArchiveResult ar =
+        bench_archive(module, run.region, protect, app.name + "_bench_arch");
+    arch.add_row({app.name, human_bytes(ar.pack_bytes), strf("%.0f", ar.append_mbps),
+                  strf("%.0f", ar.recover_mbps)});
+
     struct rusage ru{};
     ::getrusage(RUSAGE_SELF, &ru);
     json_rows.push_back(JsonRow{app.name, incr_raw.l1_bytes, app_timer.seconds() * 1e9,
-                                ru.ru_maxrss});
+                                ru.ru_maxrss, ar});
   }
 
   if (!json_path.empty()) {
@@ -221,6 +319,9 @@ int main(int argc, char** argv) {
       w.field("bytes", r.bytes);
       w.raw_field("wall_ns", strf("%.0f", r.wall_ns));
       w.field("peak_rss_kb", r.peak_rss_kb);
+      w.field("archive_bytes", r.archive.pack_bytes);
+      w.raw_field("archive_append_mbps", strf("%.1f", r.archive.append_mbps));
+      w.raw_field("archive_recover_mbps", strf("%.1f", r.archive.recover_mbps));
       w.end_object();
     }
     w.end_array().end_object();
@@ -239,6 +340,9 @@ int main(int argc, char** argv) {
   std::printf("Encode/decode throughput per codec chain (input = last protected snapshot,\n"
               "XOR base = first snapshot of the same run):\n%s\n",
               tput.render().c_str());
+  std::printf("L3 packed archive (MCTA frame stream; append = frame build + CRC + file\n"
+              "append as in persist(), recover = archive-only engine recovery):\n%s\n",
+              arch.render().c_str());
   std::printf("Incremental (raw) writes fewer bytes than the BLCR-style stream on %d/%zu apps;\n"
               "the XOR+RLE chain shrinks the L1 delta stream vs raw cells on %d/%zu apps.\n",
               incr_beats_blcr, suite.size(), xorrle_beats_raw, suite.size());

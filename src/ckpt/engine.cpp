@@ -13,6 +13,7 @@
 #include "support/faultpoint.hpp"
 #include "support/strings.hpp"
 #include "support/telemetry.hpp"
+#include "trace/mctb.hpp"
 #include "vm/memory.hpp"
 
 namespace ac::ckpt {
@@ -122,6 +123,50 @@ void commit_file(const std::string& tmp, const std::string& path, const std::str
   }
   AC_FAULT("ckpt.writeback.post_rename");
   if (sync) fsync_parent_dir(path);
+}
+
+// --- L3 packed-archive framing ---------------------------------------------
+//
+// v2 appends one MCTA frame per record (trace/mctb.hpp): self-delimiting,
+// per-frame CRC, codec-chain stage ids in the header as self-description of
+// the encoded EngineRecord payload. v1 was a bare [u32 len][u32 crc][bytes]
+// triple. Recovery dispatches per entry on a 4-byte magic peek, so mixed
+// archives — a v1 prefix written before the upgrade with v2 frames appended
+// after — recover exactly like homogeneous ones.
+
+/// The frame `kind` tag for archive entries (MCTB section kinds 1..3 name
+/// container sections; the archive uses a disjoint value).
+constexpr std::uint32_t kPackFrameKind = 0x10;
+
+struct PackEntry {
+  std::string_view record;  ///< EngineRecord bytes (CRC not yet verified)
+  std::uint32_t crc = 0;    ///< stored CRC32 of `record`
+  std::size_t size = 0;     ///< total archive bytes this entry spans
+};
+
+/// Parse the archive entry at `pos` — v1 or v2, chosen by magic — without
+/// verifying the record CRC. Returns false on a torn or unrecognized tail:
+/// the archive walk's stop condition.
+bool pack_entry_at(std::string_view data, std::size_t pos, PackEntry& out) {
+  if (pos > data.size() || data.size() - pos < 8) return false;
+  std::uint32_t magic;
+  std::memcpy(&magic, data.data() + pos, 4);
+  if (magic == trace::kMctbFrameMagic) {
+    trace::MctbFrameView view;
+    if (!trace::read_mctb_frame_header(data, pos, view)) return false;
+    out.record = view.payload;
+    out.crc = view.payload_crc;
+    out.size = view.frame_size;
+    return true;
+  }
+  std::uint32_t len, crc;
+  std::memcpy(&len, data.data() + pos, 4);
+  std::memcpy(&crc, data.data() + pos + 4, 4);
+  if (data.size() - pos - 8 < len) return false;  // torn tail
+  out.record = data.substr(pos + 8, len);
+  out.crc = crc;
+  out.size = 8 + static_cast<std::size_t>(len);
+  return true;
 }
 
 }  // namespace
@@ -702,20 +747,22 @@ void CheckpointEngine::persist(const EngineRecord& rec) {
     }
   }
 
-  // L3: append to the packed archive — [u32 length][u32 crc][record bytes].
+  // L3: append one MCTA frame to the packed archive. The frame is built in
+  // memory and shipped as a single fwrite, so a kill mid-append leaves at
+  // worst one torn frame at the tail, which the recovery walk drops cleanly.
   std::uint64_t l3_size = 0;
   if (cfg_.level >= EngineLevel::L3) {
     const std::string l3_bytes =
         cfg_.l3_codec == cfg_.l1_codec ? bytes : rec.to_bytes(cfg_.l3_codec, xor_base);
-    l3_size = l3_bytes.size();
+    const std::string frame =
+        trace::mctb_frame(kPackFrameKind, static_cast<std::uint32_t>(rec.seq),
+                          static_cast<std::uint64_t>(rec.iteration), l3_bytes, cfg_.l3_codec);
+    l3_size = frame.size();
     AC_FAULT("ckpt.writeback.l3_append");
     std::FILE* f = std::fopen(pack_path().c_str(), "ab");
     if (!f) throw CheckpointError("cannot append to archive: " + pack_path());
-    const std::uint32_t len = static_cast<std::uint32_t>(l3_bytes.size());
-    const std::uint32_t crc = crc32(l3_bytes.data(), l3_bytes.size());
-    bool ok = std::fwrite(&len, 1, 4, f) == 4;
-    ok = ok && std::fwrite(&crc, 1, 4, f) == 4;
-    ok = ok && std::fwrite(l3_bytes.data(), 1, l3_bytes.size(), f) == l3_bytes.size();
+    const std::size_t want = AC_FAULT_IO("ckpt.archive.append", frame.size());
+    bool ok = std::fwrite(frame.data(), 1, want, f) == want && want == frame.size();
     if (std::fclose(f) != 0) ok = false;
     if (!ok) throw CheckpointError("short append to archive: " + pack_path());
   }
@@ -727,7 +774,7 @@ void CheckpointEngine::persist(const EngineRecord& rec) {
     stats_.payload_raw_bytes += l1_sizes.raw;
     stats_.payload_encoded_bytes += l1_sizes.encoded;
     if (cfg_.level >= EngineLevel::L2) stats_.l2_bytes += l2_size;
-    if (cfg_.level >= EngineLevel::L3) stats_.l3_bytes += l3_size + 8;
+    if (cfg_.level >= EngineLevel::L3) stats_.l3_bytes += l3_size;  // whole frames
     stats_.last_persisted_iteration = std::max(stats_.last_persisted_iteration, rec.iteration);
   }
   // Registry mirrors of the writer-side byte counters.
@@ -745,7 +792,7 @@ void CheckpointEngine::persist(const EngineRecord& rec) {
   }
   if (cfg_.level >= EngineLevel::L3) {
     static auto& l3 = telemetry::metrics().counter("ckpt.l3_bytes");
-    l3.add(l3_size + 8);
+    l3.add(l3_size);
   }
 }
 
@@ -824,14 +871,15 @@ std::int64_t CheckpointEngine::pack_best_iteration() const {
     return -1;
   }
 
-  // Same chunk walk as recover_from_pack, but reading only the fixed-offset
-  // record header (magic, version, kind, base_id, seq, iteration — identical
-  // in v1 and v2) and skipping both payload decode AND the per-chunk CRC.
-  // That makes the estimate optimistic under corruption — a chunk with a
-  // clean header but rotten payload counts — which is safe: recover() only
-  // adopts the pack after the real (CRC-checked) decode confirms it beats
-  // the file chain, so an overestimate merely costs one wasted decode, and
-  // corruption that scrambles the header itself stops both walks alike.
+  // Same entry walk as recover_from_pack (v1/v2 dispatch via pack_entry_at),
+  // but reading only the fixed-offset record header (magic, version, kind,
+  // base_id, seq, iteration — identical in both record versions) and skipping
+  // both payload decode AND the per-entry CRC. That makes the estimate
+  // optimistic under corruption — an entry with a clean header but rotten
+  // payload counts — which is safe: recover() only adopts the pack after the
+  // real (CRC-checked) decode confirms it beats the file chain, so an
+  // overestimate merely costs one wasted decode, and corruption that
+  // scrambles the header itself stops both walks alike.
   struct Head {
     EngineRecord::Kind kind;
     std::uint64_t base_id, seq;
@@ -840,12 +888,10 @@ std::int64_t CheckpointEngine::pack_best_iteration() const {
   constexpr std::size_t kHeaderBytes = 4 + 4 + 1 + 8 + 8 + 8;
   std::vector<Head> heads;
   std::size_t pos = 0;
-  while (pos + 8 <= data.size()) {
-    std::uint32_t len;
-    std::memcpy(&len, data.data() + pos, 4);
-    if (pos + 8 + len > data.size()) break;  // torn tail
-    const char* chunk = data.data() + pos + 8;
-    if (len < kHeaderBytes + 4 || std::memcmp(chunk, kMagic, 4) != 0) break;
+  PackEntry entry;
+  while (pack_entry_at(data, pos, entry)) {
+    const char* chunk = entry.record.data();
+    if (entry.record.size() < kHeaderBytes + 4 || std::memcmp(chunk, kMagic, 4) != 0) break;
     std::uint32_t version;
     std::memcpy(&version, chunk + 4, 4);
     if (version != kVersion && version != kVersionRawCells) break;
@@ -857,7 +903,7 @@ std::int64_t CheckpointEngine::pack_best_iteration() const {
     std::memcpy(&iter, chunk + 25, 8);
     h.iteration = static_cast<std::int64_t>(iter);
     heads.push_back(h);
-    pos += 8 + len;
+    pos += entry.size;
   }
 
   std::ptrdiff_t last_full = -1;
@@ -891,13 +937,10 @@ CheckpointImage CheckpointEngine::recover_from_pack() const {
   // Records are appended in commit order, so each delta's full base precedes
   // it in the archive — track the latest full image as the XOR reference.
   std::shared_ptr<const CheckpointImage> cur_base;
-  while (pos + 8 <= data.size()) {
-    std::uint32_t len, crc;
-    std::memcpy(&len, data.data() + pos, 4);
-    std::memcpy(&crc, data.data() + pos + 4, 4);
-    if (pos + 8 + len > data.size()) break;  // torn tail
-    const std::string chunk = data.substr(pos + 8, len);
-    if (crc32(chunk.data(), chunk.size()) != crc) break;  // corruption: stop here
+  PackEntry entry;
+  while (pack_entry_at(data, pos, entry)) {
+    const std::string chunk(entry.record);
+    if (crc32(chunk.data(), chunk.size()) != entry.crc) break;  // corruption: stop here
     try {
       records.push_back(EngineRecord::from_bytes(chunk, cur_base.get()));
     } catch (const CheckpointError&) {
@@ -906,7 +949,7 @@ CheckpointImage CheckpointEngine::recover_from_pack() const {
     if (records.back().kind == EngineRecord::Kind::Full) {
       cur_base = std::make_shared<CheckpointImage>(records.back().full);
     }
-    pos += 8 + len;
+    pos += entry.size;
   }
 
   // Reassemble from the last full record forward.

@@ -16,8 +16,11 @@
 //       L1  local checkpoint files,
 //       L2  plus a partner-directory replica consulted when a local file is
 //           missing or fails its CRC,
-//       L3  plus an append-only packed archive of every record with a
-//           per-chunk CRC32, scanned as the last-resort recovery source;
+//       L3  plus an append-only packed archive of every record as MCTA
+//           frames (trace/mctb.hpp — self-delimiting, per-frame CRC32,
+//           self-describing codec ids), scanned as the last-resort recovery
+//           source; archives holding legacy [len][crc][bytes] entries still
+//           recover, mixed with frames or not;
 //   * asynchronous writeback — capture happens on the VM thread into an
 //     in-memory record, persistence on a background writer thread with a
 //     double-buffered queue (the VM only stalls when both slots are full);

@@ -289,7 +289,13 @@ int decode_child(int fd, const CorpusEntry& e, const AppContext& ctx,
   if (!e.fault.empty()) fault::arm_from_spec(e.fault);
   try {
     if (e.kind == "mctb") {
-      const trace::TraceBuffer decoded = trace::read_mctb(bytes, /*num_threads=*/1);
+      // Streaming mode: mutation campaigns exercise the same decode path the
+      // FileSource default takes (error identity with buffered is pinned in
+      // test_mctb.cpp, so findings transfer both ways).
+      trace::MctbReadOptions ropts;
+      ropts.num_threads = 1;
+      ropts.streaming = true;
+      const trace::TraceBuffer decoded = trace::read_mctb(bytes, ropts);
       if (trace::mctb_to_bytes(decoded, canonical_mctb_options(decoded.size())) ==
           ctx.canonical_mctb) {
         return kExitBenign;
@@ -311,7 +317,10 @@ int decode_child(int fd, const CorpusEntry& e, const AppContext& ctx,
     while (auto f = reader.next()) {
       f->verify_crc();
       if (f->type == net::FrameType::TraceChunk) {
-        const trace::TraceBuffer decoded = trace::read_mctb(f->payload, 1);
+        trace::MctbReadOptions ropts;
+        ropts.num_threads = 1;
+        ropts.streaming = true;
+        const trace::TraceBuffer decoded = trace::read_mctb(f->payload, ropts);
         if (trace::mctb_to_bytes(decoded, canonical_mctb_options(decoded.size())) !=
             ctx.canonical_mctb) {
           say(fd, "TraceChunk decoded to a non-canonical trace");
@@ -477,6 +486,8 @@ constexpr const char* kCrashFaults[] = {
     "ckpt.writeback.l2=throw",
     "ckpt.write_file.io=short",
     "ckpt.recover.local=throw",
+    "ckpt.archive.append=kill",
+    "ckpt.archive.append=short",
 };
 
 std::vector<std::string> split_csv(const std::string& s) {

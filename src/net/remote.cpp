@@ -102,12 +102,15 @@ void RemoteSink::send_staged_chunk() {
   trace::MctbOptions mopts;
   mopts.codec = opts_.codec;
   mopts.chunk_records = opts_.chunk_records;
-  const std::string container = trace::mctb_to_bytes(staging_, mopts);
-  send_frame(FrameType::TraceChunk, container);
+  // The streaming writer lands the container in a member buffer whose
+  // capacity survives across chunks — one allocation for the whole stream
+  // instead of a fresh heap string per flush.
+  trace::mctb_encode_into(staging_, mopts, container_);
+  send_frame(FrameType::TraceChunk, container_);
   static auto& chunks = telemetry::metrics().counter("net.client.chunks_sent");
   static auto& bytes = telemetry::metrics().counter("net.client.chunk_bytes_sent");
   chunks.add(1);
-  bytes.add(container.size());
+  bytes.add(container_.size());
   // Fresh staging buffer: chunk containers are self-contained (each carries
   // its own symbol table), exactly like MCTB file chunks reset predictors.
   staging_ = trace::TraceBuffer();
@@ -151,8 +154,12 @@ void RemoteSource::merge_chunk(const Frame& frame) {
   // ids, opcodes, symbol ids, flags — so a malformed chunk throws a clean
   // TraceFormatError before a single record lands in the buffer. Each frame
   // holds one extraction chunk; serial decode is the parallelism-free granule
-  // (connections are the concurrency axis server-side).
-  const trace::TraceBuffer decoded = trace::read_mctb(frame.payload, 1);
+  // (connections are the concurrency axis server-side). Streaming mode keeps
+  // the decode scratch warm on this thread across the connection's frames.
+  trace::MctbReadOptions mopts;
+  mopts.num_threads = 1;
+  mopts.streaming = true;
+  const trace::TraceBuffer decoded = trace::read_mctb(frame.payload, mopts);
   buffer_.append_buffer(decoded);
   materialized_valid_ = false;  // the records() shim cache is stale now
   decode_seconds_ += timer.seconds();

@@ -122,6 +122,7 @@ class RemoteSink final : public trace::TraceSink {
   Socket sock_;
   FrameReader reader_;
   trace::TraceBuffer staging_;
+  std::string container_;  ///< reused per-chunk encode buffer (streaming writer target)
   Hello server_hello_;
   std::uint64_t total_records_ = 0;
   std::uint64_t wire_bytes_ = 0;

@@ -46,34 +46,35 @@ std::uint32_t lz_hash(const unsigned char* p) {
 class RawCodec final : public Codec {
  public:
   CodecId id() const override { return CodecId::Raw; }
-  std::string encode(std::string_view raw, std::string_view) const override {
-    return std::string(raw);
+  void encode_into(std::string_view raw, std::string_view, std::string& out) const override {
+    out.assign(raw);
   }
-  std::string decode(std::string_view payload, std::size_t max_out,
-                     std::string_view) const override {
+  void decode_into(std::string_view payload, std::size_t max_out, std::string_view,
+                   std::string& out) const override {
     if (payload.size() > max_out) throw CodecError("raw codec: payload exceeds limit");
-    return std::string(payload);
+    out.assign(payload);
   }
 };
 
 class XorDeltaCodec final : public Codec {
  public:
   CodecId id() const override { return CodecId::Xor; }
-  std::string encode(std::string_view raw, std::string_view base) const override {
-    return apply(raw, base);
+  void encode_into(std::string_view raw, std::string_view base,
+                   std::string& out) const override {
+    apply(raw, base, out);
   }
-  std::string decode(std::string_view payload, std::size_t max_out,
-                     std::string_view base) const override {
+  void decode_into(std::string_view payload, std::size_t max_out, std::string_view base,
+                   std::string& out) const override {
     if (payload.size() > max_out) throw CodecError("xor codec: payload exceeds limit");
-    return apply(payload, base);  // XOR is an involution
+    apply(payload, base, out);  // XOR is an involution
   }
 
  private:
-  static std::string apply(std::string_view in, std::string_view base) {
-    std::string out(in);
+  static void apply(std::string_view in, std::string_view base, std::string& out) {
+    out.assign(in);
     const std::size_t n = std::min(out.size(), base.size());
     for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<char>(out[i] ^ base[i]);
-    return out;  // bytes past the base are kept verbatim (XOR against zero)
+    // bytes past the base are kept verbatim (XOR against zero)
   }
 };
 
@@ -81,8 +82,8 @@ class RleCodec final : public Codec {
  public:
   CodecId id() const override { return CodecId::Rle; }
 
-  std::string encode(std::string_view raw, std::string_view) const override {
-    std::string out;
+  void encode_into(std::string_view raw, std::string_view, std::string& out) const override {
+    out.clear();
     out.reserve(raw.size() / 4 + 16);
     const auto* p = reinterpret_cast<const unsigned char*>(raw.data());
     std::size_t lit_start = 0;  // start of the pending literal run
@@ -111,12 +112,11 @@ class RleCodec final : public Codec {
       lit_start = i;
     }
     flush_literals(raw.size());
-    return out;
   }
 
-  std::string decode(std::string_view payload, std::size_t max_out,
-                     std::string_view) const override {
-    std::string out;
+  void decode_into(std::string_view payload, std::size_t max_out, std::string_view,
+                   std::string& out) const override {
+    out.clear();
     // One upfront reservation sized by what the tokens can actually produce
     // (a run token expands to at most kRleMaxRun bytes), capped by the
     // caller's limit — a corrupt huge `max_out` never allocates ahead of
@@ -138,7 +138,6 @@ class RleCodec final : public Codec {
         out.append(n, payload[i++]);
       }
     }
-    return out;
   }
 };
 
@@ -146,8 +145,8 @@ class LzCodec final : public Codec {
  public:
   CodecId id() const override { return CodecId::Lz; }
 
-  std::string encode(std::string_view raw, std::string_view) const override {
-    std::string out;
+  void encode_into(std::string_view raw, std::string_view, std::string& out) const override {
+    out.clear();
     out.reserve(raw.size() / 2 + 16);
     const auto* data = reinterpret_cast<const unsigned char*>(raw.data());
     const std::size_t n = raw.size();
@@ -163,7 +162,7 @@ class LzCodec final : public Codec {
     };
     if (n < kLzMinMatch) {  // nothing to match against; skip the table
       flush_literals(n);
-      return out;
+      return;
     }
 
     // Hash table sized to the input (clamped to the window) and reused per
@@ -197,12 +196,11 @@ class LzCodec final : public Codec {
       }
     }
     flush_literals(n);
-    return out;
   }
 
-  std::string decode(std::string_view payload, std::size_t max_out,
-                     std::string_view) const override {
-    std::string out;
+  void decode_into(std::string_view payload, std::size_t max_out, std::string_view,
+                   std::string& out) const override {
+    out.clear();
     // Sized by the tokens' maximum expansion (a 3-byte match token produces
     // at most kLzMaxMatch bytes), capped by the caller's limit: big decodes
     // (the MCTB trace columns) proceed memcpy-speed without growth stalls,
@@ -238,7 +236,6 @@ class LzCodec final : public Codec {
         }
       }
     }
-    return out;
   }
 };
 
@@ -317,16 +314,38 @@ std::string CodecChain::str() const {
 }
 
 std::string CodecChain::encode(std::string_view raw, std::string_view base) const {
-  if (stages_.empty()) return std::string(raw);
-  std::string cur = codec_for(stages_[0]).encode(raw, base);
-  for (std::size_t s = 1; s < stages_.size(); ++s) {
-    cur = codec_for(stages_[s]).encode(cur, {});
-  }
-  return cur;
+  std::string out, scratch;
+  encode_into(raw, base, out, scratch);
+  return out;
 }
 
 std::string CodecChain::decode(std::string_view payload, std::size_t expect_raw_size,
                                std::string_view base) const {
+  std::string out, scratch;
+  decode_into(payload, expect_raw_size, base, out, scratch);
+  return out;
+}
+
+void CodecChain::encode_into(std::string_view raw, std::string_view base, std::string& out,
+                             std::string& scratch) const {
+  if (stages_.empty()) {
+    out.assign(raw);
+    return;
+  }
+  // Alternate between the two caller buffers so stage s never reads the
+  // buffer it writes; parity is chosen so the last stage lands in `out`.
+  const std::size_t n = stages_.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    const bool dst_is_out = (n - 1 - s) % 2 == 0;
+    std::string& dst = dst_is_out ? out : scratch;
+    const std::string_view src = s == 0 ? raw : std::string_view(dst_is_out ? scratch : out);
+    codec_for(stages_[s]).encode_into(src, s == 0 ? base : std::string_view{}, dst);
+  }
+}
+
+void CodecChain::decode_into(std::string_view payload, std::size_t expect_raw_size,
+                             std::string_view base, std::string& out,
+                             std::string& scratch) const {
   // Intermediate stages may legitimately be larger than the final raw size
   // (an RLE stream of an incompressible input), so the allocation guard gets
   // headroom compounded per stage: each RLE/LZ stage expands incompressible
@@ -334,16 +353,23 @@ std::string CodecChain::decode(std::string_view payload, std::size_t expect_raw_
   // cap/64 + 512 per stage strictly dominates — even pathological stacked
   // chains (rle+rle+...) that encode successfully must decode successfully.
   std::size_t max_out = expect_raw_size;
-  for (std::size_t s = 0; s < stages_.size(); ++s) max_out += max_out / 64 + 512;
-  std::string cur(payload);
-  for (std::size_t s = stages_.size(); s-- > 0;) {
-    cur = codec_for(stages_[s]).decode(cur, max_out, s == 0 ? base : std::string_view{});
+  const std::size_t n = stages_.size();
+  for (std::size_t s = 0; s < n; ++s) max_out += max_out / 64 + 512;
+  if (n == 0) {
+    out.assign(payload);
+  } else {
+    // Stages run in reverse; parity again steers the final write into `out`.
+    for (std::size_t s = n; s-- > 0;) {
+      std::string& dst = (s % 2 == 0) ? out : scratch;
+      const std::string_view src =
+          s == n - 1 ? payload : std::string_view((s % 2 == 0) ? scratch : out);
+      codec_for(stages_[s]).decode_into(src, max_out, s == 0 ? base : std::string_view{}, dst);
+    }
   }
-  if (cur.size() != expect_raw_size) {
+  if (out.size() != expect_raw_size) {
     throw CodecError(strf("codec chain '%s' decoded %zu bytes, expected %zu", str().c_str(),
-                          cur.size(), expect_raw_size));
+                          out.size(), expect_raw_size));
   }
-  return cur;
 }
 
 // --- SIMD kernel dispatch ---------------------------------------------------

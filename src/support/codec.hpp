@@ -46,14 +46,32 @@ class Codec {
   /// Encode `raw` into the codec's token stream. `base` is the aligned
   /// base byte stream (same layout as `raw`); only XOR reads it, and a short
   /// or empty base XORs the uncovered tail against zero.
-  virtual std::string encode(std::string_view raw, std::string_view base) const = 0;
+  std::string encode(std::string_view raw, std::string_view base) const {
+    std::string out;
+    encode_into(raw, base, out);
+    return out;
+  }
 
   /// Decode the entire `payload` (tokens are self-terminating, so no raw
   /// size is needed up front). Throws CodecError on malformed input or when
   /// the output would exceed `max_out` (an allocation guard; pass the
   /// caller's known raw size with headroom).
-  virtual std::string decode(std::string_view payload, std::size_t max_out,
-                             std::string_view base) const = 0;
+  std::string decode(std::string_view payload, std::size_t max_out,
+                     std::string_view base) const {
+    std::string out;
+    decode_into(payload, max_out, base, out);
+    return out;
+  }
+
+  /// Scratch-reusing primitives: same bytes and same errors as encode()/
+  /// decode(), but the result lands in a caller-owned string whose capacity
+  /// survives across calls — the streaming MCTB paths decode millions of
+  /// chunks without a fresh heap string per stage. `out` must not alias the
+  /// input views.
+  virtual void encode_into(std::string_view raw, std::string_view base,
+                           std::string& out) const = 0;
+  virtual void decode_into(std::string_view payload, std::size_t max_out,
+                           std::string_view base, std::string& out) const = 0;
 };
 
 /// The shared singleton for `id`; throws CodecError on an unknown id.
@@ -87,6 +105,15 @@ class CodecChain {
   /// Decode and verify the result is exactly `expect_raw_size` bytes.
   std::string decode(std::string_view payload, std::size_t expect_raw_size,
                      std::string_view base = {}) const;
+
+  /// Scratch-reusing chain entry points: stages ping-pong between `out` and
+  /// `scratch` (both caller-owned, capacity reused across calls) and the
+  /// final stage always lands in `out`. Byte- and error-identical to
+  /// encode()/decode(). Neither buffer may alias the input views.
+  void encode_into(std::string_view raw, std::string_view base, std::string& out,
+                   std::string& scratch) const;
+  void decode_into(std::string_view payload, std::size_t expect_raw_size,
+                   std::string_view base, std::string& out, std::string& scratch) const;
 
   bool operator==(const CodecChain&) const = default;
 

@@ -211,8 +211,13 @@ const std::vector<PointInfo>& catalog() {
       {"ckpt.writeback.l2", "engine.cpp persist(): before the L2 partner commit"},
       {"ckpt.writeback.l3_append", "engine.cpp persist(): before L3 pack append"},
       {"ckpt.recover.local", "engine.cpp load_record(): before local record read"},
-      {"mctb.encode.section", "mctb.cpp mctb_to_bytes(): per encoded section"},
+      {"mctb.encode.section", "mctb.cpp encode_container(): per encoded section, all sinks"},
+      {"mctb.stream.encode_section",
+       "mctb.cpp encode_container(): per section on the streaming file-writer path"},
       {"mctb.decode.section", "mctb.cpp decode_payload(): per decoded section"},
+      {"mctb.stream.decode_slot",
+       "mctb.cpp read_mctb(): per chunk slot in streaming decode mode"},
+      {"ckpt.archive.append", "engine.cpp persist(): L3 frame fwrite byte count (short-write site)"},
       {"exec.chunk.claim", "executor.cpp run_chunks(): after a worker claims a chunk"},
       {"net.write", "socket.cpp write_all(): before the send loop"},
       {"net.read", "socket.cpp read_some(): before the poll/recv"},

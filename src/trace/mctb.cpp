@@ -1,7 +1,11 @@
 #include "trace/mctb.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <vector>
 
 #include "support/crc32.hpp"
@@ -193,26 +197,43 @@ std::string encode_operand_chunk(const PackedOperand* ops, std::size_t n, std::s
 
 // --- column decoders --------------------------------------------------------
 
-/// Unshuffle one fixed-stride column out of `raw`, advancing `off`.
+/// Per-worker decode scratch: every heap buffer a chunk decode touches. In
+/// streaming mode one instance lives per worker and is reused across all the
+/// chunks that worker claims, so a million-chunk decode performs a handful of
+/// warm-up allocations instead of ~10 per chunk; buffered mode constructs a
+/// fresh one per chunk (the pre-streaming allocation profile, kept honest for
+/// the bench A/B). Decoded bytes are identical either way.
+struct DecodeScratch {
+  std::string rec_raw, op_raw, chain;
+  std::vector<std::uint64_t> u64col;
+  std::vector<std::uint32_t> col_a, col_b, col_c, col_d;
+  std::vector<std::uint64_t> last;  // operand value predictor slots
+};
+
+/// Unshuffle one fixed-stride column out of `raw` into `out`, advancing `off`.
 template <typename T>
-std::vector<T> take_column(std::string_view raw, std::size_t& off, std::size_t n) {
-  std::vector<T> out(n);
+void take_column(std::string_view raw, std::size_t& off, std::size_t n, std::vector<T>& out) {
+  out.resize(n);
   unshuffle_planes(raw.substr(off, n * sizeof(T)), n, sizeof(T), out.data());
   off += n * sizeof(T);
-  return out;
 }
 
 void decode_record_chunk(std::string_view raw, const SectionHeader& sec,
                          std::uint64_t record_base, std::uint64_t operand_base,
-                         std::uint64_t chunk_operands, TraceBuffer& buf) {
+                         std::uint64_t chunk_operands, TraceBuffer& buf, DecodeScratch& ds) {
   const std::size_t n = static_cast<std::size_t>(sec.count);
   std::size_t off = 0;
-  auto dyn = take_column<std::uint64_t>(raw, off, n);
+  take_column<std::uint64_t>(raw, off, n, ds.u64col);
+  take_column<std::uint32_t>(raw, off, n, ds.col_a);
+  take_column<std::uint32_t>(raw, off, n, ds.col_b);
+  take_column<std::uint32_t>(raw, off, n, ds.col_c);
+  take_column<std::uint32_t>(raw, off, n, ds.col_d);
+  std::vector<std::uint64_t>& dyn = ds.u64col;
   zigzag_delta_decode(dyn.data(), n);  // dyn[i] becomes the absolute dyn_id
-  const auto func = take_column<std::uint32_t>(raw, off, n);
-  const auto bb = take_column<std::uint32_t>(raw, off, n);
-  const auto opcnt = take_column<std::uint32_t>(raw, off, n);
-  const auto line = take_column<std::uint32_t>(raw, off, n);
+  const std::vector<std::uint32_t>& func = ds.col_a;
+  const std::vector<std::uint32_t>& bb = ds.col_b;
+  const std::vector<std::uint32_t>& opcnt = ds.col_c;
+  const std::vector<std::uint32_t>& line = ds.col_d;
   const std::string_view opcode = raw.substr(off, n);
 
   const std::uint32_t nsyms = static_cast<std::uint32_t>(buf.pool().size());
@@ -256,17 +277,22 @@ void decode_record_chunk(std::string_view raw, const SectionHeader& sec,
 }
 
 void decode_operand_chunk(std::string_view raw, const SectionHeader& sec,
-                          std::uint64_t operand_base, TraceBuffer& buf) {
+                          std::uint64_t operand_base, TraceBuffer& buf, DecodeScratch& ds) {
   const std::size_t n = static_cast<std::size_t>(sec.count);
   std::size_t off = 0;
-  const auto value = take_column<std::uint64_t>(raw, off, n);
-  const auto name = take_column<std::uint32_t>(raw, off, n);
-  const auto index = take_column<std::uint32_t>(raw, off, n);
-  const auto bits = take_column<std::uint32_t>(raw, off, n);
+  take_column<std::uint64_t>(raw, off, n, ds.u64col);
+  take_column<std::uint32_t>(raw, off, n, ds.col_a);
+  take_column<std::uint32_t>(raw, off, n, ds.col_b);
+  take_column<std::uint32_t>(raw, off, n, ds.col_c);
+  const std::vector<std::uint64_t>& value = ds.u64col;
+  const std::vector<std::uint32_t>& name = ds.col_a;
+  const std::vector<std::uint32_t>& index = ds.col_b;
+  const std::vector<std::uint32_t>& bits = ds.col_c;
   const std::string_view flags = raw.substr(off, n);
 
   const std::size_t nsyms = buf.pool().size();
-  std::vector<std::uint64_t> last(nsyms + 1, 0);
+  ds.last.assign(nsyms + 1, 0);
+  std::vector<std::uint64_t>& last = ds.last;
   PackedOperand* out = buf.operands().data() + operand_base;
   for (std::size_t i = 0; i < n; ++i) {
     PackedOperand& op = out[i];
@@ -289,7 +315,8 @@ void decode_operand_chunk(std::string_view raw, const SectionHeader& sec,
   }
 }
 
-std::string decode_payload(std::string_view bytes, const SectionHeader& sec, const char* what) {
+void decode_payload(std::string_view bytes, const SectionHeader& sec, const char* what,
+                    std::string& out, std::string& chain_scratch) {
   AC_SPAN("codec.decode_section");
   AC_FAULT("mctb.decode.section");
   const std::uint64_t t0 = now_ns();
@@ -309,14 +336,185 @@ std::string decode_payload(std::string_view bytes, const SectionHeader& sec, con
     throw TraceFormatError(strf("MCTB %s section CRC mismatch (chunk %u)", what, sec.chunk));
   }
   try {
-    std::string raw = sec.codec.decode(payload, static_cast<std::size_t>(sec.raw_size));
+    sec.codec.decode_into(payload, static_cast<std::size_t>(sec.raw_size), {}, out,
+                          chain_scratch);
     static auto& decoded = telemetry::metrics().counter("decode.bytes_decoded");
     static auto& ns = telemetry::metrics().histogram("codec.decode_ns");
-    decoded.add(raw.size());
+    decoded.add(out.size());
     ns.observe(now_ns() - t0);
-    return raw;
   } catch (const CodecError& e) {
     throw TraceFormatError(strf("MCTB %s section (chunk %u): %s", what, sec.chunk, e.what()));
+  }
+}
+
+// --- streaming writer -------------------------------------------------------
+
+/// Byte destination for the streaming writer: write() appends in layout
+/// order, patch() overwrites already-written bytes once payload sizes are
+/// known (the header + section table fixup).
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual void write(const char* p, std::size_t n) = 0;
+  virtual void patch(std::uint64_t off, const char* p, std::size_t n) = 0;
+};
+
+class StringByteSink final : public ByteSink {
+ public:
+  explicit StringByteSink(std::string& out) : out_(out) { out_.clear(); }
+  void write(const char* p, std::size_t n) override { out_.append(p, n); }
+  void patch(std::uint64_t off, const char* p, std::size_t n) override {
+    std::memcpy(out_.data() + static_cast<std::size_t>(off), p, n);
+  }
+
+ private:
+  std::string& out_;
+};
+
+/// Batches writes into ~1 MiB fwrite calls (the FileSink cadence); patch
+/// seeks back, overwrites, and returns to the end.
+class FileByteSink final : public ByteSink {
+ public:
+  FileByteSink(std::FILE* f, const std::string& path) : f_(f), path_(path) {
+    buf_.reserve(kFlushThreshold + 4096);
+  }
+  void write(const char* p, std::size_t n) override {
+    buf_.append(p, n);
+    if (buf_.size() >= kFlushThreshold) flush();
+  }
+  void patch(std::uint64_t off, const char* p, std::size_t n) override {
+    flush();
+    if (::fseeko(f_, static_cast<off_t>(off), SEEK_SET) != 0) io_error();
+    if (std::fwrite(p, 1, n, f_) != n) io_error();
+    if (::fseeko(f_, 0, SEEK_END) != 0) io_error();
+  }
+  void flush() {
+    if (buf_.empty()) return;
+    if (std::fwrite(buf_.data(), 1, buf_.size(), f_) != buf_.size()) io_error();
+    buf_.clear();
+  }
+
+ private:
+  [[noreturn]] void io_error() const { throw Error("short write to trace file: " + path_); }
+  static constexpr std::size_t kFlushThreshold = std::size_t{1} << 20;
+  std::FILE* f_;
+  std::string path_;
+  std::string buf_;
+};
+
+/// The one container encoder: emits a placeholder header + section table,
+/// streams each section's encoded payload through `sink` as soon as it is
+/// built (peak memory: one chunk's columns + codec scratch), then patches
+/// the real header + table over the placeholder. Every sink sees identical
+/// bytes. `stream_faults` arms the mctb.stream.encode_section point on the
+/// file-streaming path only. Returns the container size.
+std::uint64_t encode_container(const TraceBuffer& buf, const MctbOptions& opts, ByteSink& sink,
+                               bool stream_faults) {
+  if (opts.codec.stages().size() > kMaxStages) {
+    throw Error(strf("MCTB supports at most %zu codec stages, got '%s'", kMaxStages,
+                     opts.codec.str().c_str()));
+  }
+  const std::size_t chunk_records = opts.chunk_records > 0 ? opts.chunk_records : 1;
+  const std::size_t nrecords = buf.size();
+  const std::size_t nchunks = (nrecords + chunk_records - 1) / chunk_records;
+  const std::size_t nsections = 1 + 2 * nchunks;
+
+  const std::size_t prefix = kHeaderSize + nsections * kSectionHeaderSize;
+  {
+    const std::string zeros(std::min(prefix, std::size_t{1} << 16), '\0');
+    for (std::size_t w = 0; w < prefix;) {
+      const std::size_t n = std::min(zeros.size(), prefix - w);
+      sink.write(zeros.data(), n);
+      w += n;
+    }
+  }
+
+  std::vector<SectionHeader> headers;
+  headers.reserve(nsections);
+  std::uint64_t off = prefix;
+  std::string payload, chain_scratch;
+  const auto emit_section = [&](std::uint32_t kind, std::uint32_t chunk, std::uint64_t count,
+                                std::uint64_t aux, std::string_view raw) {
+    SectionHeader s;
+    s.kind = kind;
+    s.chunk = chunk;
+    s.count = count;
+    s.aux = aux;
+    s.raw_size = raw.size();
+    s.codec = opts.codec;
+    AC_FAULT("mctb.encode.section");
+    if (stream_faults) AC_FAULT("mctb.stream.encode_section");
+    {
+      AC_SPAN("codec.encode_section");
+      const std::uint64_t t0 = now_ns();
+      opts.codec.encode_into(raw, {}, payload, chain_scratch);
+      static auto& raw_b = telemetry::metrics().counter("codec.raw_bytes");
+      static auto& enc_b = telemetry::metrics().counter("codec.encoded_bytes");
+      static auto& ns = telemetry::metrics().histogram("codec.encode_ns");
+      raw_b.add(raw.size());
+      enc_b.add(payload.size());
+      ns.observe(now_ns() - t0);
+    }
+    s.payload_size = payload.size();
+    s.payload_crc = crc32(payload.data(), payload.size());
+    s.payload_off = off;
+    off += s.payload_size;
+    sink.write(payload.data(), payload.size());
+    headers.push_back(std::move(s));
+  };
+
+  {
+    std::uint64_t arena_bytes = 0;
+    const std::string sym_raw = encode_symbols(buf.pool(), arena_bytes);
+    emit_section(kSecSymbols, 0, buf.pool().size(), arena_bytes, sym_raw);
+  }
+
+  const std::vector<PackedRecord>& records = buf.records();
+  const std::vector<PackedOperand>& operands = buf.operands();
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t begin = c * chunk_records;
+    const std::size_t count = std::min(chunk_records, nrecords - begin);
+    const std::uint64_t op_base = records[begin].op_offset;
+    const std::size_t end = begin + count;
+    const std::uint64_t op_end = end < nrecords ? records[end].op_offset : operands.size();
+    {
+      const std::string rec_raw = encode_record_chunk(records.data() + begin, count);
+      emit_section(kSecRecords, static_cast<std::uint32_t>(c), count, op_base, rec_raw);
+    }
+    {
+      const std::string op_raw =
+          encode_operand_chunk(operands.data() + op_base,
+                               static_cast<std::size_t>(op_end - op_base), buf.pool().size());
+      emit_section(kSecOperands, static_cast<std::uint32_t>(c), op_end - op_base, 0, op_raw);
+    }
+  }
+
+  std::string head;
+  head.reserve(prefix);
+  put_u32(head, kMagic);
+  put_u32(head, kVersion);
+  put_u64(head, nrecords);
+  put_u64(head, operands.size());
+  put_u32(head, static_cast<std::uint32_t>(buf.pool().size()));
+  put_u32(head, static_cast<std::uint32_t>(nchunks));
+  put_u32(head, static_cast<std::uint32_t>(nsections));
+  std::string table;
+  table.reserve(nsections * kSectionHeaderSize);
+  for (const SectionHeader& s : headers) put_section_header(table, s);
+  put_u32(head, crc32(table.data(), table.size()));
+  head += table;
+  sink.patch(0, head.data(), head.size());
+  return off;
+}
+
+/// fsync the directory holding `path` so a rename into it is durable.
+void fsync_parent_dir(const std::string& path) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? std::string(".") : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
   }
 }
 
@@ -330,100 +528,61 @@ bool is_mctb(std::string_view bytes) {
 }
 
 std::string mctb_to_bytes(const TraceBuffer& buf, const MctbOptions& opts) {
-  if (opts.codec.stages().size() > kMaxStages) {
-    throw Error(strf("MCTB supports at most %zu codec stages, got '%s'", kMaxStages,
-                     opts.codec.str().c_str()));
-  }
-  const std::size_t chunk_records = opts.chunk_records > 0 ? opts.chunk_records : 1;
-  const std::size_t nrecords = buf.size();
-  const std::size_t nchunks = (nrecords + chunk_records - 1) / chunk_records;
-
-  std::vector<SectionHeader> headers;
-  std::vector<std::string> payloads;
-  const auto add_section = [&](std::uint32_t kind, std::uint32_t chunk, std::uint64_t count,
-                               std::uint64_t aux, std::string raw) {
-    SectionHeader s;
-    s.kind = kind;
-    s.chunk = chunk;
-    s.count = count;
-    s.aux = aux;
-    s.raw_size = raw.size();
-    s.codec = opts.codec;
-    AC_FAULT("mctb.encode.section");
-    {
-      AC_SPAN("codec.encode_section");
-      const std::uint64_t t0 = now_ns();
-      payloads.push_back(opts.codec.encode(raw));
-      static auto& raw_b = telemetry::metrics().counter("codec.raw_bytes");
-      static auto& enc_b = telemetry::metrics().counter("codec.encoded_bytes");
-      static auto& ns = telemetry::metrics().histogram("codec.encode_ns");
-      raw_b.add(raw.size());
-      enc_b.add(payloads.back().size());
-      ns.observe(now_ns() - t0);
-    }
-    s.payload_size = payloads.back().size();
-    s.payload_crc = crc32(payloads.back().data(), payloads.back().size());
-    headers.push_back(std::move(s));
-  };
-
-  std::uint64_t arena_bytes = 0;
-  std::string sym_raw = encode_symbols(buf.pool(), arena_bytes);
-  add_section(kSecSymbols, 0, buf.pool().size(), arena_bytes, std::move(sym_raw));
-
-  const std::vector<PackedRecord>& records = buf.records();
-  const std::vector<PackedOperand>& operands = buf.operands();
-  for (std::size_t c = 0; c < nchunks; ++c) {
-    const std::size_t begin = c * chunk_records;
-    const std::size_t count = std::min(chunk_records, nrecords - begin);
-    const std::uint64_t op_base = records[begin].op_offset;
-    const std::size_t end = begin + count;
-    const std::uint64_t op_end =
-        end < nrecords ? records[end].op_offset : operands.size();
-    add_section(kSecRecords, static_cast<std::uint32_t>(c), count, op_base,
-                encode_record_chunk(records.data() + begin, count));
-    add_section(kSecOperands, static_cast<std::uint32_t>(c), op_end - op_base, 0,
-                encode_operand_chunk(operands.data() + op_base,
-                                     static_cast<std::size_t>(op_end - op_base),
-                                     buf.pool().size()));
-  }
-
-  // Assign payload offsets, then emit header + table + payloads.
-  std::uint64_t off = kHeaderSize + headers.size() * kSectionHeaderSize;
-  for (SectionHeader& s : headers) {
-    s.payload_off = off;
-    off += s.payload_size;
-  }
-  std::string table;
-  table.reserve(headers.size() * kSectionHeaderSize);
-  for (const SectionHeader& s : headers) put_section_header(table, s);
-
   std::string out;
-  out.reserve(static_cast<std::size_t>(off));
-  put_u32(out, kMagic);
-  put_u32(out, kVersion);
-  put_u64(out, nrecords);
-  put_u64(out, operands.size());
-  put_u32(out, static_cast<std::uint32_t>(buf.pool().size()));
-  put_u32(out, static_cast<std::uint32_t>(nchunks));
-  put_u32(out, static_cast<std::uint32_t>(headers.size()));
-  put_u32(out, crc32(table.data(), table.size()));
-  out += table;
-  for (const std::string& p : payloads) out += p;
+  StringByteSink sink(out);
+  encode_container(buf, opts, sink, /*stream_faults=*/false);
   return out;
+}
+
+void mctb_encode_into(const TraceBuffer& buf, const MctbOptions& opts, std::string& out) {
+  StringByteSink sink(out);
+  encode_container(buf, opts, sink, /*stream_faults=*/false);
 }
 
 std::uint64_t write_mctb_file(const TraceBuffer& buf, const std::string& path,
                               const MctbOptions& opts) {
-  const std::string bytes = mctb_to_bytes(buf, opts);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (!f) throw Error("cannot open trace file for writing: " + path);
-  const std::size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const int rc = std::fclose(f);
-  if (n != bytes.size() || rc != 0) throw Error("short write to trace file: " + path);
-  return bytes.size();
+  // Stream into a same-directory temp file, fsync it, rename over the target,
+  // fsync the directory — the checkpoint engine's atomic-commit discipline,
+  // so a recode killed mid-write never leaves a torn container behind the
+  // final name.
+  const std::string tmp = path + ".tmp" + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) throw Error("cannot open trace file for writing: " + tmp);
+  std::uint64_t total = 0;
+  try {
+    FileByteSink sink(f, tmp);
+    total = encode_container(buf, opts, sink, /*stream_faults=*/true);
+    sink.flush();
+  } catch (...) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    throw;
+  }
+  bool ok = std::fflush(f) == 0;
+  ok = ::fsync(::fileno(f)) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw Error("short write to trace file: " + path);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("cannot rename trace file into place: " + path);
+  }
+  fsync_parent_dir(path);
+  return total;
 }
 
 TraceBuffer read_mctb(std::string_view bytes, int num_threads, const ParseProgress& progress) {
+  MctbReadOptions opts;
+  opts.num_threads = num_threads;
+  opts.streaming = false;
+  opts.progress = progress;
+  return read_mctb(bytes, opts);
+}
+
+TraceBuffer read_mctb(std::string_view bytes, const MctbReadOptions& opts) {
+  const ParseProgress& progress = opts.progress;
   Cursor cur{bytes, 0};
   if (bytes.size() < kHeaderSize) throw TraceFormatError("truncated MCTB header");
   if (cur.u32() != kMagic) throw TraceFormatError("not an MCTB container (bad magic)");
@@ -534,7 +693,8 @@ TraceBuffer read_mctb(std::string_view bytes, int num_threads, const ParseProgre
   // were validated against the header above, before any decode allocation.
   {
     AC_SPAN("decode.symbols");
-    const std::string raw = decode_payload(bytes, symbols, "symbol");
+    std::string raw, chain_scratch;
+    decode_payload(bytes, symbols, "symbol", raw, chain_scratch);
     std::vector<std::uint32_t> lens(symbol_count);
     unshuffle_planes(std::string_view(raw).substr(0, symbol_count * 4), symbol_count, 4,
                      lens.data());
@@ -559,15 +719,15 @@ TraceBuffer read_mctb(std::string_view bytes, int num_threads, const ParseProgre
   buf.records().resize(static_cast<std::size_t>(record_count));
   buf.operands().resize(static_cast<std::size_t>(operand_count));
 
-  const auto decode_chunk = [&](std::uint32_t c) {
+  const auto decode_chunk = [&](std::uint32_t c, DecodeScratch& ds) {
     AC_SPAN("decode.chunk");
     // Sizes were validated against the element counts up front; the codec
     // chain enforces the exact raw size on decode.
-    const std::string rec_raw = decode_payload(bytes, rec_secs[c], "record");
-    const std::string op_raw = decode_payload(bytes, op_secs[c], "operand");
-    decode_record_chunk(rec_raw, rec_secs[c], record_base[c], rec_secs[c].aux,
-                        op_secs[c].count, buf);
-    decode_operand_chunk(op_raw, op_secs[c], rec_secs[c].aux, buf);
+    decode_payload(bytes, rec_secs[c], "record", ds.rec_raw, ds.chain);
+    decode_payload(bytes, op_secs[c], "operand", ds.op_raw, ds.chain);
+    decode_record_chunk(ds.rec_raw, rec_secs[c], record_base[c], rec_secs[c].aux,
+                        op_secs[c].count, buf, ds);
+    decode_operand_chunk(ds.op_raw, op_secs[c], rec_secs[c].aux, buf, ds);
     static auto& recs = telemetry::metrics().counter("decode.records_decoded");
     recs.add(rec_secs[c].count);
   };
@@ -579,17 +739,104 @@ TraceBuffer read_mctb(std::string_view bytes, int num_threads, const ParseProgre
   // so a corrupt chunk raises the exact error the serial decode would. The
   // ordered on_ready consumer replaces the old progress mutex.
   ExecutorOptions eopts;
-  eopts.threads = num_threads;
-  run_chunks(
-      chunk_count, eopts,
-      [&](std::size_t c) { decode_chunk(static_cast<std::uint32_t>(c)); },
-      [&](std::size_t c) {
-        if (progress) {
-          progress(static_cast<std::size_t>(rec_secs[c].payload_off),
-                   static_cast<std::size_t>(op_secs[c].payload_off + op_secs[c].payload_size));
-        }
-      });
+  eopts.threads = opts.num_threads;
+  const auto on_ready = [&](std::size_t c) {
+    if (progress) {
+      progress(static_cast<std::size_t>(rec_secs[c].payload_off),
+               static_cast<std::size_t>(op_secs[c].payload_off + op_secs[c].payload_size));
+    }
+  };
+  if (opts.streaming) {
+    // One scratch arena per worker thread, reused across every chunk that
+    // worker claims (executor workers are fresh threads per call, so the
+    // arena's lifetime is this decode; on the calling thread it persists and
+    // warms the next serial decode).
+    run_chunks(
+        chunk_count, eopts,
+        [&](std::size_t c) {
+          AC_FAULT("mctb.stream.decode_slot");
+          thread_local DecodeScratch ds;
+          decode_chunk(static_cast<std::uint32_t>(c), ds);
+        },
+        on_ready);
+  } else {
+    // Buffered mode: fresh per-chunk temporaries — the pre-streaming
+    // allocation profile, kept for the bench A/B and in-memory callers.
+    run_chunks(
+        chunk_count, eopts,
+        [&](std::size_t c) {
+          DecodeScratch ds;
+          decode_chunk(static_cast<std::uint32_t>(c), ds);
+        },
+        on_ready);
+  }
   return buf;
+}
+
+// --- MCTB record framing ----------------------------------------------------
+
+bool is_mctb_frame(std::string_view bytes) {
+  if (bytes.size() < 4) return false;
+  std::uint32_t magic;
+  std::memcpy(&magic, bytes.data(), 4);
+  return magic == kMctbFrameMagic;
+}
+
+std::string mctb_frame(std::uint32_t kind, std::uint32_t seq, std::uint64_t aux,
+                       std::string_view payload, const CodecChain& codec) {
+  if (codec.stages().size() > kMaxStages) {
+    throw Error(strf("MCTB supports at most %zu codec stages, got '%s'", kMaxStages,
+                     codec.str().c_str()));
+  }
+  SectionHeader s;
+  s.kind = kind;
+  s.chunk = seq;
+  s.count = 1;
+  s.aux = aux;
+  s.raw_size = payload.size();
+  s.payload_off = 4 + kSectionHeaderSize;
+  s.payload_size = payload.size();
+  s.payload_crc = crc32(payload.data(), payload.size());
+  s.codec = codec;
+  std::string out;
+  out.reserve(4 + kSectionHeaderSize + payload.size());
+  put_u32(out, kMctbFrameMagic);
+  put_section_header(out, s);
+  out.append(payload);
+  return out;
+}
+
+bool read_mctb_frame_header(std::string_view bytes, std::size_t pos, MctbFrameView& out) {
+  if (pos > bytes.size() || bytes.size() - pos < 4 + kSectionHeaderSize) return false;
+  std::uint32_t magic;
+  std::memcpy(&magic, bytes.data() + pos, 4);
+  if (magic != kMctbFrameMagic) return false;
+  Cursor cur{bytes, pos + 4};
+  SectionHeader s;
+  try {
+    s = read_section_header(cur);
+  } catch (const TraceFormatError&) {
+    return false;  // garbage or torn header bytes: the walk stops here
+  }
+  if (s.count != 1 || s.raw_size != s.payload_size ||
+      s.payload_off != 4 + kSectionHeaderSize) {
+    return false;
+  }
+  if (s.payload_size > bytes.size() - pos - 4 - kSectionHeaderSize) return false;
+  out.kind = s.kind;
+  out.seq = s.chunk;
+  out.aux = s.aux;
+  out.codec = s.codec;
+  out.payload_crc = s.payload_crc;
+  out.payload =
+      bytes.substr(pos + 4 + kSectionHeaderSize, static_cast<std::size_t>(s.payload_size));
+  out.frame_size = 4 + kSectionHeaderSize + static_cast<std::size_t>(s.payload_size);
+  return true;
+}
+
+bool read_mctb_frame(std::string_view bytes, std::size_t pos, MctbFrameView& out) {
+  if (!read_mctb_frame_header(bytes, pos, out)) return false;
+  return crc32(out.payload.data(), out.payload.size()) == out.payload_crc;
 }
 
 }  // namespace ac::trace

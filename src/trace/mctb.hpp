@@ -31,6 +31,21 @@
 // concurrently with no merge or concat step. Every decode path validates
 // magic/version/bounds/CRC and throws ac::TraceFormatError on malformed
 // input — corrupt bytes must never become UB.
+//
+// Both ends of the container are streaming. The writer emits header +
+// placeholder section table, then encodes and flushes one section at a time
+// through a batched sink, and patches the table in place once payload sizes
+// are known — peak encode memory is one chunk plus codec scratch, never the
+// whole container, and the emitted bytes are identical for every sink. The
+// reader's streaming mode (the FileSource default) decodes chunks into the
+// preallocated TraceBuffer slots through per-worker scratch arenas that are
+// reused across every chunk a worker claims, and reports consumed payload
+// ranges through ParseProgress so mmap'd input pages can be released behind
+// the in-order frontier, exactly like the text path.
+//
+// The same section framing, prefixed with the "MCTA" magic, carries the
+// checkpoint engine's L3 packed archive (see mctb_frame below): one
+// self-describing, CRC'd frame per appended record.
 #pragma once
 
 #include <string>
@@ -54,20 +69,101 @@ struct MctbOptions {
 /// True when `bytes` starts with the MCTB magic (the FileSource sniff).
 bool is_mctb(std::string_view bytes);
 
-/// Serialize `buf` as an MCTB container.
+/// Serialize `buf` as an MCTB container. Runs the streaming writer against an
+/// in-memory sink, so the bytes are identical to what write_mctb_file emits.
 std::string mctb_to_bytes(const TraceBuffer& buf, const MctbOptions& opts = {});
 
-/// Write `buf` to `path` as an MCTB container; returns the container size in
-/// bytes. Throws ac::Error on I/O failure.
+/// Streaming serialize into a caller-owned string whose capacity survives
+/// across calls (RemoteSink re-encodes one staging chunk per flush and must
+/// not pay a fresh container allocation each time). Same bytes as
+/// mctb_to_bytes.
+void mctb_encode_into(const TraceBuffer& buf, const MctbOptions& opts, std::string& out);
+
+/// Stream `buf` to `path` as an MCTB container: placeholder header + section
+/// table first, each section encoded and flushed chunk-at-a-time through a
+/// batched file writer, then the table patched in place (seek-back) once the
+/// payload sizes are known. Peak memory is one chunk + codec scratch. The
+/// write is crash-durable: bytes land in a same-directory temp file which is
+/// fsync'd, renamed over `path`, and the directory entry fsync'd — a kill at
+/// any point leaves either the old file or the complete new one. Returns the
+/// container size in bytes. Throws ac::Error on I/O failure.
 std::uint64_t write_mctb_file(const TraceBuffer& buf, const std::string& path,
                               const MctbOptions& opts = {});
+
+/// Decode knobs for read_mctb.
+struct MctbReadOptions {
+  /// Worker count for chunk decode (0 = hardware default, <=1 = serial).
+  int num_threads = 0;
+  /// Streaming mode (the FileSource default): each worker reuses one scratch
+  /// arena (decoded-column buffers, codec ping-pong strings, predictor
+  /// table) across every chunk it claims instead of allocating per-chunk
+  /// temporaries. Decoded bytes and error messages are identical to the
+  /// buffered mode; only the allocation profile differs.
+  bool streaming = true;
+  /// Fires per consumed payload byte range, strictly in chunk order — the
+  /// madvise frontier for mmap-backed input.
+  ParseProgress progress;
+};
 
 /// Validate + decode an MCTB container. Chunks are decoded on `num_threads`
 /// workers (0 = hardware default, <=1 = serial) straight into their disjoint
 /// slots of the result arrays — no concat step. `progress` fires per decoded
-/// chunk with the consumed payload byte range (out of order under threads).
-/// Throws ac::TraceFormatError on any malformed input.
+/// chunk with the consumed payload byte range. Throws ac::TraceFormatError
+/// on any malformed input. This overload is the buffered mode (fresh
+/// per-chunk decode temporaries); prefer the MctbReadOptions overload.
 TraceBuffer read_mctb(std::string_view bytes, int num_threads = 0,
                       const ParseProgress& progress = {});
+
+/// As above, with streaming scratch reuse selectable via MctbReadOptions.
+TraceBuffer read_mctb(std::string_view bytes, const MctbReadOptions& opts);
+
+// --- MCTB record framing ----------------------------------------------------
+//
+// A standalone record frame for append-only streams: the checkpoint engine's
+// L3 packed archive is a sequence of these. Layout per frame:
+//
+//   u32 magic "MCTA"
+//   SectionHeader   kind (caller-defined record kind), chunk = caller `seq`,
+//                   count = 1, aux = caller u64, raw_size = payload bytes,
+//                   payload_off = offset of the payload within the frame,
+//                   payload_size + CRC32, codec stage ids (self-description
+//                   of the chain used *inside* the payload — the frame
+//                   itself carries the payload verbatim).
+//   payload
+//
+// Frames are self-delimiting and individually CRC'd, so a reader walks an
+// append-only stream frame by frame and stops cleanly at a torn tail.
+
+/// Magic "MCTA" little-endian — distinguishes a framed record stream from
+/// both an MCTB container and the v1 `[len][crc][bytes]` archive format.
+constexpr std::uint32_t kMctbFrameMagic = 0x4154434Du;
+
+/// True when `bytes` starts with the frame magic.
+bool is_mctb_frame(std::string_view bytes);
+
+/// Build one frame around `payload`. `codec` is recorded in the header as
+/// self-description; the payload bytes are carried verbatim.
+std::string mctb_frame(std::uint32_t kind, std::uint32_t seq, std::uint64_t aux,
+                       std::string_view payload, const CodecChain& codec);
+
+/// A parsed frame; `payload` views into the walked bytes.
+struct MctbFrameView {
+  std::uint32_t kind = 0;
+  std::uint32_t seq = 0;
+  std::uint64_t aux = 0;
+  CodecChain codec;
+  std::uint32_t payload_crc = 0;
+  std::string_view payload;
+  std::size_t frame_size = 0;  ///< total frame bytes, including magic + header
+};
+
+/// Parse the frame header at `pos` without verifying the payload CRC (the
+/// archive's cheap best-iteration peek). Returns false — never throws — on
+/// bad magic, truncation, or a malformed header: the walk's stop condition.
+bool read_mctb_frame_header(std::string_view bytes, std::size_t pos, MctbFrameView& out);
+
+/// Full frame parse: header plus payload CRC verification. Returns false on
+/// any torn or corrupt frame.
+bool read_mctb_frame(std::string_view bytes, std::size_t pos, MctbFrameView& out);
 
 }  // namespace ac::trace

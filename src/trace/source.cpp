@@ -102,7 +102,14 @@ const TraceBuffer& FileSource::buffer() {
   };
   if (is_mctb(file.view())) {
     // Binary container: a validated chunked read instead of text decoding.
-    buffer_ = read_mctb(file.view(), read_threads_ > 1 ? read_threads_ : 1, release);
+    // Streaming mode is the file-backed default — per-worker scratch arenas
+    // instead of per-chunk temporaries, with consumed payload pages released
+    // behind the in-order frontier exactly like the text path.
+    MctbReadOptions mopts;
+    mopts.num_threads = read_threads_ > 1 ? read_threads_ : 1;
+    mopts.streaming = true;
+    mopts.progress = release;
+    buffer_ = read_mctb(file.view(), mopts);
     format_ = "mctb";
   } else {
     buffer_ = read_threads_ > 1 ? read_trace_buffer_parallel(file.view(), read_threads_, release)

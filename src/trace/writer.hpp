@@ -126,8 +126,11 @@ class FileSink final : public TraceSink {
 /// Writes the binary MCTB container (trace/mctb.hpp): records are interned
 /// into a TraceBuffer as they are emitted (the same packing the analysis
 /// replays, so nothing per-record survives on the heap) and the container is
-/// serialized on close(). The column/delta encoding needs the finished
-/// arrays, so the file appears atomically at close, not incrementally.
+/// serialized on close() through the streaming writer — sections are encoded
+/// and flushed chunk-at-a-time, so peak serialize memory is one chunk + codec
+/// scratch on top of the interned buffer. The column/delta encoding needs the
+/// finished arrays, so the file appears atomically at close (temp + fsync +
+/// rename), not incrementally.
 class MctbFileSink final : public TraceSink {
  public:
   explicit MctbFileSink(std::string path, MctbOptions opts = {});

@@ -20,6 +20,7 @@
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
+#include "trace/mctb.hpp"
 #include "vm/memory.hpp"
 
 #include "helpers.hpp"
@@ -609,6 +610,136 @@ TEST(EngineLevels, TornDeltaChainRollsBackToLastGoodPrefix) {
   corrupt_file(cfg.dir + "/" + cfg.tag + ".delta.3.eng");
   ckpt::CheckpointEngine restart(cfg);
   EXPECT_EQ(restart.recover().iteration(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// L3 packed-archive format compatibility
+// ---------------------------------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (!f) return {};
+  std::string data;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) data.append(buf, n);
+  std::fclose(f);
+  return data;
+}
+
+void spew(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+  std::fclose(f);
+}
+
+/// Run an L3 engine to fail_at=6 and strip the file-based chain afterwards,
+/// so recover() can only take the packed archive. Returns the pack path.
+std::string archive_only_setup(const apps::AnalysisRun& run, ckpt::EngineConfig& cfg) {
+  cfg.level = ckpt::EngineLevel::L3;
+  cfg.partner_dir = partner_dir();
+  cfg.async = false;
+  cfg.full_every = 3;
+  {
+    ckpt::CheckpointEngine engine(cfg);
+    engine.reset();
+    engine.register_report(run.report);
+    vm::RunOptions ropts;
+    ropts.mcl = {run.region.function, run.region.begin_line, run.region.end_line};
+    ropts.engine = &engine;
+    ropts.fail_at_iteration = 6;
+    EXPECT_TRUE(vm::run_module(run.module, ropts).failed);
+    engine.flush();
+  }
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const std::string& dir : {cfg.dir, cfg.partner_dir}) {
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(cfg.tag + ".", 0) == 0 && name != cfg.tag + ".pack") {
+        fs::remove(entry.path(), ec);
+      }
+    }
+  }
+  return cfg.dir + "/" + cfg.tag + ".pack";
+}
+
+/// Archives written by the pre-frame code — bare [u32 len][u32 crc][bytes]
+/// entries, and mixes of v1 entries with MCTA frames — must recover exactly
+/// like the pure v2 archive the current engine writes.
+TEST(EngineArchive, V1AndMixedArchivesStillRecover) {
+  const App& app = find_app("LU");
+  const apps::AnalysisRun run = analyze_app(app);
+  ckpt::EngineConfig cfg = engine_cfg("eng_arch_v1");
+  const std::string pack = archive_only_setup(run, cfg);
+
+  // The engine wrote v2: every entry an MCTA frame. Capture the recovered
+  // baseline, then re-frame the archive as v1 and as v1/v2 mixes.
+  const std::string v2 = slurp(pack);
+  const std::int64_t want_iter = ckpt::CheckpointEngine(cfg).recover().iteration();
+  EXPECT_EQ(want_iter, 5);
+
+  std::vector<std::string> payloads;
+  trace::MctbFrameView view;
+  for (std::size_t pos = 0; trace::read_mctb_frame(v2, pos, view); pos += view.frame_size) {
+    payloads.emplace_back(view.payload);
+  }
+  ASSERT_GE(payloads.size(), 2u);
+
+  const auto v1_entry = [](const std::string& bytes) {
+    std::string out;
+    const std::uint32_t len = static_cast<std::uint32_t>(bytes.size());
+    const std::uint32_t crc = crc32(bytes.data(), bytes.size());
+    out.append(reinterpret_cast<const char*>(&len), 4);
+    out.append(reinterpret_cast<const char*>(&crc), 4);
+    out.append(bytes);
+    return out;
+  };
+
+  // Pure v1.
+  std::string v1;
+  for (const std::string& p : payloads) v1 += v1_entry(p);
+  spew(pack, v1);
+  EXPECT_EQ(ckpt::CheckpointEngine(cfg).recover().iteration(), want_iter);
+
+  // v1 prefix + v2 tail: what an upgraded binary leaves behind after
+  // appending to an old archive.
+  std::string mixed;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    mixed += i < payloads.size() / 2
+                 ? v1_entry(payloads[i])
+                 : trace::mctb_frame(0x10, static_cast<std::uint32_t>(i), 0, payloads[i],
+                                     cfg.l3_codec);
+  }
+  spew(pack, mixed);
+  EXPECT_EQ(ckpt::CheckpointEngine(cfg).recover().iteration(), want_iter);
+}
+
+/// A frame torn mid-append (short write, kill) must cost only the tail
+/// record: the walk stops cleanly at the torn frame.
+TEST(EngineArchive, TornFrameTailRollsBackOneRecord) {
+  const App& app = find_app("BT");
+  const apps::AnalysisRun run = analyze_app(app);
+  ckpt::EngineConfig cfg = engine_cfg("eng_arch_torn");
+  const std::string pack = archive_only_setup(run, cfg);
+
+  const std::string v2 = slurp(pack);
+  std::vector<std::size_t> frame_ends;
+  trace::MctbFrameView view;
+  for (std::size_t pos = 0; trace::read_mctb_frame(v2, pos, view); pos += view.frame_size) {
+    frame_ends.push_back(pos + view.frame_size);
+  }
+  ASSERT_GE(frame_ends.size(), 2u);
+  EXPECT_EQ(frame_ends.back(), v2.size());
+
+  // Tear the last frame in half. Records commit once per iteration from
+  // iteration 1, so losing the last one recovers exactly one iteration less.
+  const std::size_t keep =
+      frame_ends[frame_ends.size() - 2] + (v2.size() - frame_ends[frame_ends.size() - 2]) / 2;
+  spew(pack, v2.substr(0, keep));
+  EXPECT_EQ(ckpt::CheckpointEngine(cfg).recover().iteration(), 4);
 }
 
 }  // namespace

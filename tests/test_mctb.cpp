@@ -6,6 +6,7 @@
 // (this suite runs under the ASan/UBSan CI job like every other test).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 
 #include "analysis/session.hpp"
@@ -306,7 +307,9 @@ TEST(MctbMalformed, ParallelDecodeRejectsToo) {
 
 /// The executor's exception_ptr propagation (lowest failing chunk wins) makes
 /// the parallel decode raise the *byte-identical* error the serial decode
-/// raises — type and message — for every corruption in the matrix above.
+/// raises — type and message — for every corruption in the matrix above, and
+/// the streaming mode (reused scratch arenas) must match the buffered
+/// baseline across the same thread counts.
 void expect_error_identity(const std::string& img, const char* label) {
   std::string serial_what;
   try {
@@ -315,14 +318,22 @@ void expect_error_identity(const std::string& img, const char* label) {
   } catch (const TraceFormatError& e) {
     serial_what = e.what();
   }
-  for (const int threads : {2, 4}) {
-    try {
-      read_mctb(img, threads);
-      FAIL() << label << ": parallel decode accepted the corrupt container";
-    } catch (const TraceFormatError& e) {
-      EXPECT_STREQ(serial_what.c_str(), e.what()) << label << " threads=" << threads;
-    } catch (const std::exception& e) {
-      FAIL() << label << ": exception type erased to: " << e.what();
+  for (const bool streaming : {false, true}) {
+    for (const int threads : {1, 2, 4}) {
+      if (!streaming && threads == 1) continue;  // the baseline above
+      MctbReadOptions opts;
+      opts.num_threads = threads;
+      opts.streaming = streaming;
+      const char* mode = streaming ? "streaming" : "buffered";
+      try {
+        read_mctb(img, opts);
+        FAIL() << label << ": " << mode << " decode accepted the corrupt container";
+      } catch (const TraceFormatError& e) {
+        EXPECT_STREQ(serial_what.c_str(), e.what())
+            << label << " " << mode << " threads=" << threads;
+      } catch (const std::exception& e) {
+        FAIL() << label << ": exception type erased to: " << e.what();
+      }
     }
   }
 }
@@ -391,6 +402,51 @@ TEST(MctbErrorIdentity, SerialAndParallelRaiseTheSameError) {
   }
 }
 
+// --- MCTA record frames ------------------------------------------------------
+
+TEST(MctbFrame, RoundTripsAndSniffs) {
+  const CodecChain chain = CodecChain::parse("rle+lz");
+  const std::string payload = "the quick brown fox jumps over the lazy dog";
+  const std::string frame = mctb_frame(/*kind=*/7, /*seq=*/3, /*aux=*/42, payload, chain);
+  EXPECT_TRUE(is_mctb_frame(frame));
+  EXPECT_FALSE(is_mctb_frame(payload));
+  EXPECT_FALSE(is_mctb(frame));  // container and frame magics are distinct
+
+  MctbFrameView view;
+  ASSERT_TRUE(read_mctb_frame(frame, 0, view));
+  EXPECT_EQ(view.kind, 7u);
+  EXPECT_EQ(view.seq, 3u);
+  EXPECT_EQ(view.aux, 42u);
+  EXPECT_EQ(view.codec, chain);
+  EXPECT_EQ(view.payload, payload);
+  EXPECT_EQ(view.frame_size, frame.size());
+
+  // Back-to-back frames walk by frame_size.
+  const std::string second = mctb_frame(7, 4, 43, "tail", chain);
+  const std::string stream = frame + second;
+  ASSERT_TRUE(read_mctb_frame(stream, view.frame_size, view));
+  EXPECT_EQ(view.seq, 4u);
+  EXPECT_EQ(view.payload, "tail");
+}
+
+TEST(MctbFrame, RejectsTornAndCorruptFrames) {
+  const std::string frame = mctb_frame(1, 0, 0, "payload bytes", CodecChain{});
+  MctbFrameView view;
+  // Truncation at every boundary: header-only parse already refuses.
+  for (std::size_t n = 0; n < frame.size(); ++n) {
+    EXPECT_FALSE(read_mctb_frame(frame.substr(0, n), 0, view)) << "len=" << n;
+  }
+  // A flipped payload byte passes the header parse but fails the CRC.
+  std::string corrupt = frame;
+  corrupt[frame.size() - 1] = static_cast<char>(corrupt[frame.size() - 1] ^ 0x5A);
+  EXPECT_TRUE(read_mctb_frame_header(corrupt, 0, view));
+  EXPECT_FALSE(read_mctb_frame(corrupt, 0, view));
+  // A flipped magic byte is not a frame at all.
+  std::string retyped = frame;
+  retyped[0] = 'X';
+  EXPECT_FALSE(read_mctb_frame_header(retyped, 0, view));
+}
+
 // --- the 14-app property -----------------------------------------------------
 
 /// text -> recode -> mctb -> read must reproduce the exact original bytes,
@@ -431,6 +487,64 @@ TEST_P(MctbRoundTrip, TextRecodeReadByteIdentical) {
   EXPECT_EQ(sequential.all_mli, barrier.all_mli);
   EXPECT_EQ(sequential.critical, pipelined.critical);
   EXPECT_EQ(sequential.all_mli, pipelined.all_mli);
+}
+
+/// The streaming writer and reader are byte-identical to the buffered paths
+/// on every mini-app: one encoder behind every sink (in-memory, reused
+/// buffer, file), and a decode whose only difference is the allocation
+/// profile — serial and threads 2/4.
+TEST_P(MctbRoundTrip, StreamingEncodeDecodeByteIdentical) {
+  const apps::App& app = apps::find_app(GetParam());
+  trace::MemorySink sink;
+  vm::RunOptions ropts;
+  ropts.sink = &sink;
+  const ir::Module module = minic::compile(app.source());
+  vm::run_module(module, ropts);
+  std::string text;
+  for (const auto& r : sink.records()) text += r.to_text();
+  const TraceBuffer parsed = read_trace_buffer(text);
+
+  MctbOptions opts;
+  opts.chunk_records = 512;
+  const std::string img = mctb_to_bytes(parsed, opts);
+
+  // Encode identity: the reused-buffer writer (called twice, so any reliance
+  // on a pristine output string would show) and the streaming file writer
+  // both emit the same container byte for byte.
+  std::string reused = "stale bytes from a previous chunk";
+  mctb_encode_into(parsed, opts, reused);
+  EXPECT_EQ(reused, img);
+  mctb_encode_into(parsed, opts, reused);
+  EXPECT_EQ(reused, img);
+
+  const std::string path = testing::TempDir() + "ac_stream_" + GetParam() + ".mctb";
+  EXPECT_EQ(write_mctb_file(parsed, path, opts), img.size());
+  std::string file_bytes;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    file_bytes.resize(img.size() + 1);
+    file_bytes.resize(std::fread(file_bytes.data(), 1, file_bytes.size(), f));
+    std::fclose(f);
+  }
+  EXPECT_EQ(file_bytes, img);
+  std::remove(path.c_str());
+
+  // Decode identity: streaming mode at serial and threads 2/4 reproduces the
+  // buffered decode exactly (text, operands, symbol pool).
+  const TraceBuffer buffered = read_mctb(img, 1);
+  for (const int threads : {1, 2, 4}) {
+    MctbReadOptions ropts2;
+    ropts2.num_threads = threads;
+    ropts2.streaming = true;
+    const TraceBuffer streamed = read_mctb(img, ropts2);
+    EXPECT_EQ(buffer_text(streamed), text) << "threads=" << threads;
+    EXPECT_EQ(streamed.operands().size(), buffered.operands().size()) << threads;
+    EXPECT_EQ(streamed.pool().size(), buffered.pool().size()) << threads;
+    // Canonical re-serialization equality pins every decoded column, not
+    // just the text projection.
+    EXPECT_EQ(mctb_to_bytes(streamed, opts), img) << "threads=" << threads;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
